@@ -1,0 +1,229 @@
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation (see EXPERIMENTS.md for the index). Each benchmark
+// regenerates its experiment and reports the headline numbers as custom
+// metrics, so `go test -bench=. -benchmem` reproduces the entire
+// evaluation. Budgets are reduced relative to cmd/vrbench to keep the
+// suite's wall time reasonable; run `vrbench -exp all` for the full-budget
+// tables.
+package vrsim
+
+import (
+	"fmt"
+	"testing"
+
+	"vrsim/internal/harness"
+)
+
+// benchOpt returns reduced-budget options over cheap-to-construct
+// workloads; graph workloads appear in the dedicated graph benchmarks.
+func benchOpt() harness.Options {
+	return harness.Options{
+		MaxBudget: 150_000,
+		Workloads: []string{"camel", "kangaroo", "hj2", "hj8", "nas-is", "randomaccess"},
+	}
+}
+
+// reportSpeedups attaches per-technique h-mean speedups to the benchmark.
+func reportSpeedups(b *testing.B, rows []harness.PerfRow) {
+	b.Helper()
+	agg := map[harness.Technique][]float64{}
+	for _, r := range rows {
+		for tech, s := range r.Speedup {
+			agg[tech] = append(agg[tech], s)
+		}
+	}
+	for _, tech := range harness.AllTechniques() {
+		b.ReportMetric(harness.HarmonicMean(agg[tech]), string(tech)+"-hmean-x")
+	}
+}
+
+// BenchmarkTable1Config regenerates the baseline configuration table (T1).
+func BenchmarkTable1Config(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := harness.ExpT1Config()
+		if len(t.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkTable2Graphs regenerates the graph-input table (T2): measured
+// LLC MPKI on the synthetic KR and UR inputs.
+func BenchmarkTable2Graphs(b *testing.B) {
+	opt := harness.Options{MaxBudget: 150_000}
+	for i := 0; i < b.N; i++ {
+		t, err := harness.ExpT2Graphs(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(t.Rows) != 4 {
+			b.Fatalf("rows = %d", len(t.Rows))
+		}
+	}
+}
+
+// BenchmarkFig2ROBSweep regenerates the motivation figure (F2): OoO and VR
+// performance and window-stall time across ROB sizes.
+func BenchmarkFig2ROBSweep(b *testing.B) {
+	opt := benchOpt()
+	opt.Workloads = []string{"camel", "hj8"}
+	opt.ROBSizes = []int{128, 224, 350}
+	for i := 0; i < b.N; i++ {
+		t, err := harness.ExpF2ROBSweep(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(t.Rows) != 3 {
+			b.Fatalf("rows = %d", len(t.Rows))
+		}
+	}
+}
+
+// BenchmarkFig7Performance regenerates the main results figure (F7):
+// all techniques over the hpc-db set, reporting h-mean speedups.
+func BenchmarkFig7Performance(b *testing.B) {
+	opt := benchOpt()
+	var rows []harness.PerfRow
+	for i := 0; i < b.N; i++ {
+		_, r, err := harness.ExpF7Performance(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = r
+	}
+	reportSpeedups(b, rows)
+}
+
+// BenchmarkFig7GAP runs the F7 techniques over two representative GAP
+// kernels (graph construction dominates; kept separate so the hpc-db
+// benchmark stays fast).
+func BenchmarkFig7GAP(b *testing.B) {
+	opt := benchOpt()
+	opt.Workloads = []string{"bfs_kr", "cc_kr"}
+	var rows []harness.PerfRow
+	for i := 0; i < b.N; i++ {
+		_, r, err := harness.ExpF7Performance(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = r
+	}
+	reportSpeedups(b, rows)
+}
+
+// BenchmarkFig8Ablation regenerates the mechanism-breakdown figure (F8).
+func BenchmarkFig8Ablation(b *testing.B) {
+	opt := benchOpt()
+	opt.Workloads = []string{"camel", "hj8"}
+	for i := 0; i < b.N; i++ {
+		t, err := harness.ExpF8Ablation(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(t.Rows) != 3 { // 2 workloads + h-mean
+			b.Fatalf("rows = %d", len(t.Rows))
+		}
+	}
+}
+
+// BenchmarkFig9MLP regenerates the memory-level-parallelism figure (F9)
+// and reports the mean MLP ratio (VR over OoO) across the set.
+func BenchmarkFig9MLP(b *testing.B) {
+	opt := benchOpt()
+	var ratioSum float64
+	var n int
+	for i := 0; i < b.N; i++ {
+		t, err := harness.ExpF9MLP(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratioSum, n = 0, 0
+		for _, row := range t.Rows {
+			var r float64
+			if _, err := fmt.Sscanf(row[3], "%f", &r); err == nil && r > 0 {
+				ratioSum += r
+				n++
+			}
+		}
+	}
+	if n > 0 {
+		b.ReportMetric(ratioSum/float64(n), "mlp-ratio")
+	}
+}
+
+// BenchmarkFig10AccuracyCoverage regenerates the traffic/coverage figure.
+func BenchmarkFig10AccuracyCoverage(b *testing.B) {
+	opt := benchOpt()
+	opt.Workloads = []string{"camel", "kangaroo"}
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.ExpF10AccuracyCoverage(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig11Timeliness regenerates the timeliness figure (F11).
+func BenchmarkFig11Timeliness(b *testing.B) {
+	opt := benchOpt()
+	opt.Workloads = []string{"camel", "hj8"}
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.ExpF11Timeliness(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig12VectorLength regenerates the vector-length sweep (F12).
+func BenchmarkFig12VectorLength(b *testing.B) {
+	opt := benchOpt()
+	opt.Workloads = []string{"camel"}
+	opt.VectorLengths = []int{8, 32, 64}
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.ExpF12VectorLength(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig13DelayedTermination regenerates the delayed-termination
+// cost figure (F13).
+func BenchmarkFig13DelayedTermination(b *testing.B) {
+	opt := benchOpt()
+	opt.Workloads = []string{"camel", "hj8"}
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.ExpF13DelayedTermination(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable3Hardware regenerates the hardware-overhead table (T3).
+func BenchmarkTable3Hardware(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := harness.ExpT3Hardware()
+		if len(t.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulation speed (cycles/s of
+// the camel kernel on the baseline core) — the cost model behind every
+// experiment above.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	w, err := Workload("camel")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		cfg := NewConfig(OoO)
+		cfg.MaxBudget = 100_000
+		r, err := Run(w, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += r.Cycles
+	}
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "sim-cycles/s")
+}

@@ -1,0 +1,118 @@
+// Command vrbench regenerates the paper's tables and figures as formatted
+// text, one experiment at a time or all together.
+//
+// Usage:
+//
+//	vrbench -exp f7                     # main results figure
+//	vrbench -exp all -maxbudget 300000  # everything, faster
+//	vrbench -exp f2 -workloads camel,hj8
+//
+// Experiment ids follow EXPERIMENTS.md: t1 t2 f2 f7 f8 f9 f10 f11 f12 f13 t3.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"vrsim/internal/harness"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "f7", "experiment id (t1,t2,f2,f7..f13,t3,a1..a5,all,ablations)")
+		budget  = flag.Uint64("maxbudget", 1_000_000, "per-run instruction cap")
+		wl      = flag.String("workloads", "", "comma-separated workload subset (default: experiment's set)")
+		verbose = flag.Bool("v", false, "print per-run progress to stderr")
+		format  = flag.String("format", "text", "output format: text|json")
+	)
+	flag.Parse()
+
+	opt := harness.Options{MaxBudget: *budget}
+	if *wl != "" {
+		opt.Workloads = strings.Split(*wl, ",")
+	}
+	if *verbose {
+		start := time.Now()
+		opt.Progress = func(msg string) {
+			fmt.Fprintf(os.Stderr, "[%7.1fs] %s\n", time.Since(start).Seconds(), msg)
+		}
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = []string{"t1", "t2", "f2", "f7", "f8", "f9", "f10", "f11", "f12", "f13", "t3"}
+	} else if *exp == "ablations" {
+		ids = []string{"a1", "a2", "a3", "a4", "a5", "a6", "a7", "a8", "a9"}
+	}
+	for _, id := range ids {
+		if err := runExp(id, opt, *format); err != nil {
+			fmt.Fprintf(os.Stderr, "vrbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func runExp(id string, opt harness.Options, format string) error {
+	var (
+		t   *harness.Table
+		err error
+	)
+	switch id {
+	case "t1":
+		t = harness.ExpT1Config()
+	case "t2":
+		t, err = harness.ExpT2Graphs(opt)
+	case "f2":
+		t, err = harness.ExpF2ROBSweep(opt)
+	case "f7":
+		t, _, err = harness.ExpF7Performance(opt)
+	case "f8":
+		t, err = harness.ExpF8Ablation(opt)
+	case "f9":
+		t, err = harness.ExpF9MLP(opt)
+	case "f10":
+		t, err = harness.ExpF10AccuracyCoverage(opt)
+	case "f11":
+		t, err = harness.ExpF11Timeliness(opt)
+	case "f12":
+		t, err = harness.ExpF12VectorLength(opt)
+	case "f13":
+		t, err = harness.ExpF13DelayedTermination(opt)
+	case "t3":
+		t = harness.ExpT3Hardware()
+	case "a1":
+		t, err = harness.ExpA1MSHRSweep(opt)
+	case "a2":
+		t, err = harness.ExpA2BandwidthSweep(opt)
+	case "a3":
+		t, err = harness.ExpA3Predictors(opt)
+	case "a4":
+		t, err = harness.ExpA4StridePrefetcher(opt)
+	case "a5":
+		t, err = harness.ExpA5CoreScaling(opt)
+	case "a6":
+		t, err = harness.ExpA6LoopBound(opt)
+	case "a7":
+		t, err = harness.ExpA7RunaheadLineage(opt)
+	case "a8":
+		t, err = harness.ExpA8Reconverge(opt)
+	case "a9":
+		t, err = harness.ExpA9ExtraWork(opt)
+	default:
+		return fmt.Errorf("unknown experiment %q", id)
+	}
+	if err != nil {
+		return err
+	}
+	if format == "json" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(t)
+	}
+	fmt.Println(t.String())
+	return nil
+}

@@ -1,0 +1,109 @@
+// Custom kernel: write your own workload with the assembler-style Builder
+// and measure how Vector Runahead treats it. The kernel below walks an
+// index array and dereferences a pointer table twice, mixing the value
+// between hops (as hashing or offset arithmetic does in real code) — a
+// chain the stride prefetcher cannot cover but VR vectorizes.
+//
+// The mixing work matters: with it, one loop iteration is ~40
+// instructions, the 350-entry window spans only a few iterations, and the
+// baseline extracts little memory-level parallelism — the regime the paper
+// targets. Strip the mixing out and the window alone overlaps dozens of
+// iterations, the MSHRs saturate, and runahead has nothing to add.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vrsim"
+)
+
+const (
+	rZero vrsim.Reg = 0 // keep register 0 zero by convention
+	rIdx  vrsim.Reg = 1 // index array base
+	rTab  vrsim.Reg = 2 // table base
+	rPtr  vrsim.Reg = 3 // pointer table base
+	rI    vrsim.Reg = 4
+	rN    vrsim.Reg = 5
+	rV    vrsim.Reg = 6
+	rSum  vrsim.Reg = 7
+	rT    vrsim.Reg = 8
+)
+
+const (
+	baseIdx = 0x0100_0000
+	basePtr = 0x1000_0000
+	baseTab = 0x4000_0000
+	tabSize = 1 << 21 // 16 MB: twice the simulated LLC
+	iters   = 40000
+)
+
+func buildKernel() *vrsim.Program {
+	b := vrsim.NewKernelBuilder("ptr-hop")
+	b.Li(rZero, 0)
+	b.Li(rIdx, baseIdx)
+	b.Li(rPtr, basePtr)
+	b.Li(rTab, baseTab)
+	b.Li(rI, 0)
+	b.Li(rN, iters)
+	b.Li(rSum, 0)
+	mix := func() { // 16 ALU ops of value mixing, as a hash would do
+		for r := 0; r < 4; r++ {
+			b.ShrI(rT, rV, 9)
+			b.Xor(rV, rV, rT)
+			b.ShlI(rT, rV, 3)
+			b.Add(rV, rV, rT)
+		}
+		b.AndI(rV, rV, tabSize-1)
+	}
+	b.Label("loop")
+	b.Ld(rV, rIdx, rI, 3, 0) // v = idx[i]        (striding)
+	mix()
+	b.Ld(rV, rPtr, rV, 3, 0) // v = ptr[v]        (indirect hop 1)
+	mix()
+	b.Ld(rV, rTab, rV, 3, 0) // v = tab[v]        (indirect hop 2)
+	b.Add(rSum, rSum, rV)
+	b.AddI(rI, rI, 1)
+	b.Blt(rI, rN, "loop")
+	b.Halt()
+	return b.MustBuild()
+}
+
+func initMemory(d *vrsim.Memory) {
+	s := uint64(42)
+	next := func() uint64 {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		return s
+	}
+	for i := 0; i < iters; i++ {
+		d.Store(baseIdx+uint64(i)*8, next()%tabSize)
+	}
+	for i := 0; i < tabSize; i++ {
+		d.Store(basePtr+uint64(i)*8, next()%tabSize)
+		d.Store(baseTab+uint64(i)*8, next()%1000)
+	}
+}
+
+func main() {
+	w := &vrsim.WorkloadSpec{
+		Name:            "ptr-hop",
+		Prog:            buildKernel(),
+		Init:            initMemory,
+		SuggestedBudget: iters * 8,
+	}
+	base, err := vrsim.Run(w, vrsim.NewConfig(vrsim.OoO))
+	if err != nil {
+		log.Fatal(err)
+	}
+	vr, err := vrsim.Run(w, vrsim.NewConfig(vrsim.VR))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("custom ptr-hop kernel (%d-instruction ROI)\n", base.Instrs)
+	fmt.Printf("  baseline: IPC %.3f, MLP %5.2f\n", base.IPC, base.MLP)
+	fmt.Printf("  VR:       IPC %.3f, MLP %5.2f, %d gathers in %d chains\n",
+		vr.IPC, vr.MLP, vr.VRStats.GatherLoads, vr.VRStats.ChainsVectorized)
+	fmt.Printf("  speedup:  %.2fx\n", vrsim.Speedup(base, vr))
+}

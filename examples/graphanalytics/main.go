@@ -1,0 +1,50 @@
+// Graph analytics: breadth-first search (the paper's Algorithm 1) on a
+// power-law Kronecker graph under every evaluated technique, plus the
+// ROB-size story — Vector Runahead's gains concentrate where the
+// out-of-order window is the bottleneck.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vrsim"
+)
+
+func main() {
+	w, err := vrsim.Workload("bfs_kr")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("BFS on a Kronecker (power-law) graph, Table-1 core:")
+	var base vrsim.Result
+	for _, tech := range []vrsim.Technique{vrsim.OoO, vrsim.PRE, vrsim.IMP, vrsim.VR, vrsim.Oracle} {
+		r, err := vrsim.Run(w, vrsim.NewConfig(tech))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if tech == vrsim.OoO {
+			base = r
+		}
+		fmt.Printf("  %-7s IPC %.3f  MLP %5.2f  LLC MPKI %6.1f  speedup %.2fx\n",
+			tech, r.IPC, r.MLP, r.LLCMPKI, vrsim.Speedup(base, r))
+	}
+
+	fmt.Println("\nVR gain vs. reorder-buffer size (normalized within each size):")
+	for _, rob := range []int{128, 192, 350} {
+		cfgO := vrsim.NewConfig(vrsim.OoO)
+		cfgO.CPU = cfgO.CPU.WithROB(rob)
+		o, err := vrsim.Run(w, cfgO)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfgV := vrsim.NewConfig(vrsim.VR)
+		cfgV.CPU = cfgV.CPU.WithROB(rob)
+		v, err := vrsim.Run(w, cfgV)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  ROB %3d: VR %.2fx over same-size OoO\n", rob, vrsim.Speedup(o, v))
+	}
+}

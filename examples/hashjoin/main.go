@@ -1,0 +1,32 @@
+// Hash join: the database-probe kernels HJ-2 and HJ-8 (two- and eight-deep
+// dependent access chains per key). Deeper chains serialize the baseline
+// core harder; Vector Runahead overlaps 64 future probes per chain level.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vrsim"
+)
+
+func main() {
+	for _, name := range []string{"hj2", "hj8"} {
+		w, err := vrsim.Workload(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		base, err := vrsim.Run(w, vrsim.NewConfig(vrsim.OoO))
+		if err != nil {
+			log.Fatal(err)
+		}
+		vr, err := vrsim.Run(w, vrsim.NewConfig(vrsim.VR))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: baseline IPC %.3f (MLP %5.2f)  |  VR IPC %.3f (MLP %5.2f)  |  speedup %.2fx\n",
+			name, base.IPC, base.MLP, vr.IPC, vr.MLP, vrsim.Speedup(base, vr))
+		fmt.Printf("     off-chip lines: demand %d -> %d, runahead prefetches added %d\n",
+			base.OffChipDemand, vr.OffChipDemand, vr.OffChipRunahead)
+	}
+}

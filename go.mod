@@ -1,0 +1,3 @@
+module vrsim
+
+go 1.22

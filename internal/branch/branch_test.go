@@ -1,0 +1,169 @@
+package branch
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// train runs a direction sequence through a predictor, maintaining the
+// global history register the way an in-order front end would, and returns
+// prediction accuracy.
+func train(p Predictor, pcs []int, dirs []bool) float64 {
+	var hist uint64
+	correct := 0
+	for i := range pcs {
+		if p.Predict(pcs[i], hist) == dirs[i] {
+			correct++
+		}
+		p.Update(pcs[i], hist, dirs[i])
+		hist <<= 1
+		if dirs[i] {
+			hist |= 1
+		}
+	}
+	return float64(correct) / float64(len(pcs))
+}
+
+func predictors() []Predictor {
+	return []Predictor{NewBimodal(12), NewGshare(12, 12), NewTAGE(10)}
+}
+
+func TestAlwaysTakenLearned(t *testing.T) {
+	for _, p := range predictors() {
+		pcs := make([]int, 1000)
+		dirs := make([]bool, 1000)
+		for i := range pcs {
+			pcs[i] = 17
+			dirs[i] = true
+		}
+		if acc := train(p, pcs, dirs); acc < 0.99 {
+			t.Errorf("%s: always-taken accuracy = %f", p.Name(), acc)
+		}
+	}
+}
+
+func TestLoopExitBehaviour(t *testing.T) {
+	// A loop branch taken 9 times then not-taken, repeated. Bimodal gets
+	// ~90%; history-based predictors should do at least as well.
+	for _, p := range predictors() {
+		var pcs []int
+		var dirs []bool
+		for rep := 0; rep < 300; rep++ {
+			for i := 0; i < 9; i++ {
+				pcs = append(pcs, 42)
+				dirs = append(dirs, true)
+			}
+			pcs = append(pcs, 42)
+			dirs = append(dirs, false)
+		}
+		if acc := train(p, pcs, dirs); acc < 0.85 {
+			t.Errorf("%s: loop accuracy = %f", p.Name(), acc)
+		}
+	}
+}
+
+func TestHistoryCorrelation(t *testing.T) {
+	// Direction strictly alternates: gshare and TAGE should learn it
+	// nearly perfectly; bimodal cannot beat ~50%.
+	mk := func() ([]int, []bool) {
+		pcs := make([]int, 4000)
+		dirs := make([]bool, 4000)
+		for i := range pcs {
+			pcs[i] = 99
+			dirs[i] = i%2 == 0
+		}
+		return pcs, dirs
+	}
+	pcs, dirs := mk()
+	if acc := train(NewGshare(12, 12), pcs, dirs); acc < 0.95 {
+		t.Errorf("gshare alternating accuracy = %f", acc)
+	}
+	pcs, dirs = mk()
+	if acc := train(NewTAGE(10), pcs, dirs); acc < 0.9 {
+		t.Errorf("tage alternating accuracy = %f", acc)
+	}
+	pcs, dirs = mk()
+	if acc := train(NewBimodal(12), pcs, dirs); acc > 0.7 {
+		t.Errorf("bimodal should not learn alternation, accuracy = %f", acc)
+	}
+}
+
+func TestLongHistoryPattern(t *testing.T) {
+	// Period-12 pattern: needs more history than a 2-bit counter has.
+	pattern := []bool{true, true, true, false, true, false, false, true, true, false, false, false}
+	var pcs []int
+	var dirs []bool
+	for rep := 0; rep < 800; rep++ {
+		for _, d := range pattern {
+			pcs = append(pcs, 7)
+			dirs = append(dirs, d)
+		}
+	}
+	tageAcc := train(NewTAGE(10), pcs, dirs)
+	bimodalAcc := train(NewBimodal(12), pcs, dirs)
+	if tageAcc <= bimodalAcc {
+		t.Errorf("tage (%f) should beat bimodal (%f) on long patterns", tageAcc, bimodalAcc)
+	}
+	if tageAcc < 0.85 {
+		t.Errorf("tage long-pattern accuracy = %f", tageAcc)
+	}
+}
+
+func TestRandomDirectionsDoNotCrash(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, p := range predictors() {
+		var hist uint64
+		for i := 0; i < 20000; i++ {
+			pc := rng.Intn(1 << 14)
+			p.Predict(pc, hist)
+			taken := rng.Intn(2) == 0
+			p.Update(pc, hist, taken)
+			hist <<= 1
+			if taken {
+				hist |= 1
+			}
+		}
+	}
+}
+
+func TestDataDependentBranchesStayHard(t *testing.T) {
+	// Random 50/50 branches — the regime GAP workloads put the core in.
+	// No predictor should (or can) exceed ~60%.
+	rng := rand.New(rand.NewSource(7))
+	pcs := make([]int, 20000)
+	dirs := make([]bool, 20000)
+	for i := range pcs {
+		pcs[i] = 5
+		dirs[i] = rng.Intn(2) == 0
+	}
+	for _, p := range predictors() {
+		if acc := train(p, pcs, dirs); acc > 0.62 {
+			t.Errorf("%s: impossible accuracy %f on random branches", p.Name(), acc)
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	want := map[string]bool{"bimodal": true, "gshare": true, "tage": true}
+	for _, p := range predictors() {
+		if !want[p.Name()] {
+			t.Errorf("unexpected name %q", p.Name())
+		}
+	}
+}
+
+func TestFold(t *testing.T) {
+	if fold(0, 16, 8) != 0 {
+		t.Error("fold of zero history must be zero")
+	}
+	// Folding must cover all bits: changing a high history bit changes output.
+	a := fold(0xffff, 16, 8)
+	b := fold(0x7fff, 16, 8)
+	if a == b {
+		t.Error("fold ignores high history bits")
+	}
+	// Output must fit the width.
+	if fold(^uint64(0), 64, 8) >= 1<<8 {
+		t.Error("fold output exceeds width")
+	}
+}

@@ -1,0 +1,39 @@
+package core
+
+import "fmt"
+
+// CostItem is one hardware structure's storage cost.
+type CostItem struct {
+	Name  string
+	Bytes int
+	Note  string
+}
+
+// HardwareCost itemizes the storage VR adds to the baseline core, in the
+// style of the paper's hardware-overhead accounting (the follow-on paper
+// reports 1139 bytes for its richer DVR structures; plain VR needs less).
+// Vector values live in the existing 512-bit vector register file, so only
+// control state is new.
+func (v *VR) HardwareCost() []CostItem {
+	vl := v.cfg.VectorLength
+	items := []CostItem{
+		{"stride detector (RPT)", v.strides.SizeBytes(),
+			fmt.Sprintf("%d entries: 48b PC + 48b addr + 16b stride + 2b conf + 1b flag", v.cfg.StrideEntries)},
+		{"taint vector", 4, "one bit per architectural integer register"},
+		{"lane mask", (vl + 7) / 8, fmt.Sprintf("%d lanes", vl)},
+		{"stride PC/base/step", 6 + 8 + 2, "48b PC, 64b base address, 16b stride"},
+		{"chain/activation counters", 4, "chain timeout + activation budget"},
+		{"runahead PC + history", 6 + 8, "48b PC, 64b local GHR"},
+		{"interval register", 8, "blocking-load return cycle"},
+	}
+	return items
+}
+
+// TotalHardwareBytes sums the itemized cost.
+func (v *VR) TotalHardwareBytes() int {
+	total := 0
+	for _, it := range v.HardwareCost() {
+		total += it.Bytes
+	}
+	return total
+}

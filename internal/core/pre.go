@@ -1,0 +1,126 @@
+package core
+
+import (
+	"vrsim/internal/cpu"
+	"vrsim/internal/isa"
+	"vrsim/internal/mem"
+)
+
+// PREConfig tunes the Precise Runahead engine.
+type PREConfig struct {
+	// MaxInstrsPerActivation bounds a single runahead interval's work, a
+	// safety net mirroring hardware watchdogs.
+	MaxInstrsPerActivation uint64
+	// MinInterval is the minimum remaining latency of the blocking load
+	// for runahead to be worth entering (PRE targets off-chip misses).
+	MinInterval uint64
+}
+
+// DefaultPREConfig returns the configuration used in the evaluation.
+func DefaultPREConfig() PREConfig {
+	return PREConfig{MaxInstrsPerActivation: 4096, MinInterval: 96}
+}
+
+// PREStats counts Precise Runahead activity.
+type PREStats struct {
+	Activations   uint64
+	Instrs        uint64 // instructions pre-executed
+	LoadsIssued   uint64 // runahead loads sent to the hierarchy
+	LoadsPoisoned uint64 // loads skipped for an INV address
+	StoresTouched uint64 // store lines prefetched
+}
+
+// PRE models Precise Runahead Execution (Naithani et al., HPCA 2020), the
+// state-of-the-art scalar runahead baseline: on a full-ROB stall with a
+// load miss at the head, it pre-executes the future instruction stream at
+// front-end speed — limited to the issue slots the stalled main thread
+// leaves free — for exactly the runahead interval (until the blocking load
+// returns), without flushing the pipeline on exit.
+//
+// Like all invalidation-based runahead, a pre-executed load yields a usable
+// value only on an L1 hit; chains of dependent misses therefore prefetch
+// only their first level.
+type PRE struct {
+	cfg PREConfig
+
+	active bool
+	blDone uint64
+	w      walker
+
+	Stats PREStats
+}
+
+// NewPRE returns a PRE engine; attach it with core.AttachEngine.
+func NewPRE(cfg PREConfig) *PRE { return &PRE{cfg: cfg} }
+
+// HoldCommit implements cpu.Engine: PRE never delays the pipeline.
+func (p *PRE) HoldCommit() bool { return false }
+
+// Active reports whether a runahead interval is in progress.
+func (p *PRE) Active() bool { return p.active }
+
+// Tick implements cpu.Engine.
+func (p *PRE) Tick(c *cpu.Core) {
+	now := c.Cycle()
+	if !p.active {
+		bl, ok := c.BlockedLoadAtHead()
+		if !ok || !bl.Full || bl.Done < now+p.cfg.MinInterval {
+			return
+		}
+		p.w = newWalker(c)
+		p.blDone = bl.Done
+		p.active = true
+		p.Stats.Activations++
+	}
+	if now >= p.blDone {
+		p.active = false
+		return
+	}
+	// PRE's instruction supply is bound by the front-end width the stalled
+	// main thread is not using.
+	for budget := c.SpareIssueSlots(); budget > 0 && p.active; budget-- {
+		p.step(c, now)
+	}
+}
+
+func (p *PRE) step(c *cpu.Core, now uint64) {
+	in := p.w.fetch()
+	p.w.steps++
+	p.Stats.Instrs++
+	if p.w.steps > p.cfg.MaxInstrsPerActivation || in.IsHalt() {
+		p.active = false
+		return
+	}
+	switch {
+	case in.IsBranch():
+		p.w.branchStep(in)
+	case in.IsLoad():
+		a, b, ok := p.w.srcOK(in)
+		if !ok {
+			p.Stats.LoadsPoisoned++
+			p.w.valid[in.Dst] = false
+			p.w.pc++
+			return
+		}
+		addr := isa.EffAddr(in, a, b)
+		res := c.Hier().Access(now, p.w.pc, addr, false, mem.ClassRunahead, mem.SrcRunahead)
+		p.Stats.LoadsIssued++
+		if res.Level == mem.AtL1 {
+			p.w.regs[in.Dst] = c.Data().Load(addr)
+			p.w.valid[in.Dst] = true
+		} else {
+			p.w.valid[in.Dst] = false // INV: data not back in time
+		}
+		p.w.pc++
+	case in.IsStore():
+		// Prefetch the store target (no transient memory writes).
+		if a, b, ok := p.w.srcOK(in); ok {
+			addr := isa.EffAddr(in, a, b)
+			c.Hier().Access(now, p.w.pc, addr, false, mem.ClassRunahead, mem.SrcRunahead)
+			p.Stats.StoresTouched++
+		}
+		p.w.pc++
+	default:
+		p.w.aluStep(in)
+	}
+}

@@ -1,0 +1,65 @@
+package core
+
+// Divergence-stack execution: an extension beyond the ISCA 2021 design.
+//
+// Plain Vector Runahead follows the control flow of lane 0 and invalidates
+// lanes that diverge — so every lane that takes the other side of a
+// data-dependent branch stops prefetching for the rest of the chain. The
+// follow-on work adds full SIMT reconvergence; this module implements the
+// two-path core of that idea: when lanes diverge, the minority set is
+// pushed (with its PC) onto a small stack instead of being discarded, and
+// when the current lane group finishes its chain, the stashed groups run
+// their own path to chain completion. Vector register state is per-lane
+// already, so stashed lanes resume with correct values.
+//
+// Enabled with VRConfig.Reconverge; off by default for fidelity to the
+// paper (whose lane masking under divergence this reproduction otherwise
+// preserves). The A8 ablation quantifies it on divergent kernels.
+
+// divergePoint is one stashed lane group awaiting execution.
+type divergePoint struct {
+	pc   int
+	mask []bool
+}
+
+// maxDivergeStack mirrors the follow-on design's 8-entry reconvergence
+// stack.
+const maxDivergeStack = 8
+
+// stashDivergent records the lanes that took the other branch direction.
+// It returns true if they were stashed; false means the caller should fall
+// back to masking them off (stack full or feature disabled).
+func (v *VR) stashDivergent(pc int, other []bool) bool {
+	if !v.cfg.Reconverge || len(v.diverge) >= maxDivergeStack {
+		return false
+	}
+	m := make([]bool, len(other))
+	copy(m, other)
+	v.diverge = append(v.diverge, divergePoint{pc: pc, mask: m})
+	v.Stats.LanesStashed += countTrue(other)
+	return true
+}
+
+// resumeDivergent pops the next stashed lane group into the active mask
+// and redirects the walker; it reports whether a group was resumed.
+func (v *VR) resumeDivergent() bool {
+	if len(v.diverge) == 0 {
+		return false
+	}
+	dp := v.diverge[len(v.diverge)-1]
+	v.diverge = v.diverge[:len(v.diverge)-1]
+	copy(v.mask, dp.mask)
+	v.w.pc = dp.pc
+	v.Stats.LanesResumed += countTrue(dp.mask)
+	return true
+}
+
+func countTrue(m []bool) uint64 {
+	var n uint64
+	for _, b := range m {
+		if b {
+			n++
+		}
+	}
+	return n
+}

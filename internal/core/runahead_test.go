@@ -1,0 +1,74 @@
+package core
+
+import (
+	"testing"
+
+	"vrsim/internal/cpu"
+)
+
+func TestClassicRAActivatesAndPrefetches(t *testing.T) {
+	k := buildHashChain(2, 2000, 21)
+	ra := NewClassicRA(DefaultRAConfig())
+	c := runWith(t, k, func(c *cpu.Core) { c.AttachEngine(ra) })
+	if ra.Stats.Activations == 0 {
+		t.Fatal("classic RA never activated")
+	}
+	if ra.Stats.LoadsIssued == 0 {
+		t.Fatal("classic RA issued no loads")
+	}
+	if ra.Stats.FlushCycles == 0 {
+		t.Error("no flush cost recorded")
+	}
+	if c.Stats.CommitStall[cpu.StallHeld] == 0 {
+		t.Error("core never held commit for the flush")
+	}
+}
+
+func TestClassicRADoesNotCorruptState(t *testing.T) {
+	k := buildHashChain(2, 2000, 21)
+	base := runWith(t, k, nil)
+	ra := NewClassicRA(DefaultRAConfig())
+	raC := runWith(t, k, func(c *cpu.Core) { c.AttachEngine(ra) })
+	if base.ArchRegs()[6] != raC.ArchRegs()[6] {
+		t.Fatal("classic RA corrupted results")
+	}
+	if base.Stats.Committed != raC.Stats.Committed {
+		t.Fatal("instruction counts differ")
+	}
+}
+
+func TestRunaheadLineageOrdering(t *testing.T) {
+	// PRE removed classic runahead's flush: on the same kernel, PRE must
+	// not lose to classic RA.
+	mk := func() hashChainKernel { return buildHashChain(2, 3000, 21) }
+	base := runWith(t, mk(), nil)
+	ra := NewClassicRA(DefaultRAConfig())
+	raC := runWith(t, mk(), func(c *cpu.Core) { c.AttachEngine(ra) })
+	pre := NewPRE(DefaultPREConfig())
+	preC := runWith(t, mk(), func(c *cpu.Core) { c.AttachEngine(pre) })
+
+	raS := float64(base.Stats.Cycles) / float64(raC.Stats.Cycles)
+	preS := float64(base.Stats.Cycles) / float64(preC.Stats.Cycles)
+	t.Logf("classic %.3f, pre %.3f", raS, preS)
+	if preS < raS-0.02 {
+		t.Errorf("PRE (%.3f) lost to flush-based runahead (%.3f)", preS, raS)
+	}
+}
+
+func TestFlushPenaltyScalesCost(t *testing.T) {
+	mk := func() hashChainKernel { return buildHashChain(2, 2000, 21) }
+	cheap := DefaultRAConfig()
+	cheap.FlushPenaltyCycles = 1
+	raCheap := NewClassicRA(cheap)
+	cCheap := runWith(t, mk(), func(c *cpu.Core) { c.AttachEngine(raCheap) })
+
+	dear := DefaultRAConfig()
+	dear.FlushPenaltyCycles = 400
+	raDear := NewClassicRA(dear)
+	cDear := runWith(t, mk(), func(c *cpu.Core) { c.AttachEngine(raDear) })
+
+	if cDear.Stats.Cycles <= cCheap.Stats.Cycles {
+		t.Errorf("400-cycle flush (%d cycles) not slower than 1-cycle (%d)",
+			cDear.Stats.Cycles, cCheap.Stats.Cycles)
+	}
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"testing"
+
+	"vrsim/internal/cpu"
+	"vrsim/internal/isa"
+	"vrsim/internal/mem"
+)
+
+func TestMinIntervalFiltersShortStalls(t *testing.T) {
+	// With an absurdly high MinInterval, VR must never activate.
+	k := buildHashChain(2, 1500, 21)
+	cfg := DefaultVRConfig()
+	cfg.MinInterval = 1 << 40
+	vr := NewVR(cfg)
+	runWith(t, k, func(c *cpu.Core) { vr.Bind(c) })
+	if vr.Stats.Activations != 0 {
+		t.Errorf("activations = %d with prohibitive MinInterval", vr.Stats.Activations)
+	}
+	// With zero, it activates at least as often as the default.
+	cfg2 := DefaultVRConfig()
+	cfg2.MinInterval = 0
+	eager := NewVR(cfg2)
+	runWith(t, buildHashChain(2, 1500, 21), func(c *cpu.Core) { eager.Bind(c) })
+	def := NewVR(DefaultVRConfig())
+	runWith(t, buildHashChain(2, 1500, 21), func(c *cpu.Core) { def.Bind(c) })
+	if eager.Stats.Activations < def.Stats.Activations {
+		t.Errorf("eager activations %d < default %d", eager.Stats.Activations, def.Stats.Activations)
+	}
+}
+
+func TestMaxHoldCyclesBoundsDelay(t *testing.T) {
+	mk := func() hashChainKernel { return buildHashChain(2, 1500, 21) }
+	tight := DefaultVRConfig()
+	tight.MaxHoldCycles = 16
+	vrTight := NewVR(tight)
+	cTight := runWith(t, mk(), func(c *cpu.Core) { vrTight.Bind(c) })
+
+	loose := DefaultVRConfig()
+	loose.MaxHoldCycles = 1 << 20
+	vrLoose := NewVR(loose)
+	cLoose := runWith(t, mk(), func(c *cpu.Core) { vrLoose.Bind(c) })
+
+	tightFrac := float64(cTight.Stats.CommitStall[cpu.StallHeld]) / float64(cTight.Stats.Cycles)
+	looseFrac := float64(cLoose.Stats.CommitStall[cpu.StallHeld]) / float64(cLoose.Stats.Cycles)
+	if tightFrac >= looseFrac {
+		t.Errorf("hold bound ineffective: tight %.3f >= loose %.3f", tightFrac, looseFrac)
+	}
+}
+
+func TestDiscoverFinalLoadOnChain(t *testing.T) {
+	// Assemble a chain and check the FLR scan finds its last load.
+	b := isa.NewBuilder("flr")
+	b.Li(1, 0x1000)
+	b.Li(2, 0x2000)
+	b.Li(3, 0)
+	b.Li(4, 100)
+	b.Label("loop")
+	stridePC := b.PC()
+	b.Ld(5, 1, 3, 3, 0) // striding
+	b.AddI(5, 5, 1)
+	b.Ld(6, 2, 5, 3, 0) // dependent level 1
+	b.ShlI(6, 6, 1)
+	lastLoadPC := b.PC()
+	b.Ld(7, 2, 6, 3, 0) // dependent level 2 (the FLR)
+	b.Add(8, 8, 7)
+	b.Ld(9, 1, 3, 3, 8) // NOT dependent on the stride value
+	b.AddI(3, 3, 1)
+	b.Blt(3, 4, "loop")
+	b.Halt()
+	prog := b.MustBuild()
+
+	vr := NewVR(DefaultVRConfig())
+	vr.stridePC = stridePC
+	vr.w = walker{prog: prog, pred: cpuPredictor(t)}
+	got := vr.discoverFinalLoad(prog.At(stridePC))
+	if got != lastLoadPC {
+		t.Errorf("final load pc = %d, want %d", got, lastLoadPC)
+	}
+}
+
+// cpuPredictor builds a predictor instance for walker-only tests.
+func cpuPredictor(t *testing.T) interface {
+	Predict(pc int, hist uint64) bool
+	Update(pc int, hist uint64, taken bool)
+	Name() string
+} {
+	t.Helper()
+	return cpu.DefaultConfig().NewPredictor()
+}
+
+func TestNoVectorizationWithoutStrides(t *testing.T) {
+	// A pure pointer chase has no striding load: VR activates on the
+	// stalls but never finds a vectorization candidate, degenerating to
+	// scalar runahead.
+	const (
+		rP isa.Reg = 1
+		rI isa.Reg = 2
+		rN isa.Reg = 3
+	)
+	n := 1 << 15
+	base := uint64(0x1000000)
+	b := isa.NewBuilder("chase")
+	b.Li(rP, int64(base))
+	b.Li(rI, 0)
+	b.Li(rN, 4000)
+	b.Label("loop")
+	b.LdD(rP, rP, 0)
+	b.AddI(rI, rI, 1)
+	b.Blt(rI, rN, "loop")
+	b.Halt()
+	k := hashChainKernel{
+		prog:  b.MustBuild(),
+		iters: 4000,
+		init: func(d *mem.Backing) {
+			// A random cycle through n nodes spaced a page apart.
+			x := uint64(31)
+			cur := uint64(0)
+			for i := 0; i < n; i++ {
+				x ^= x << 13
+				x ^= x >> 7
+				x ^= x << 17
+				next := x % uint64(n)
+				d.Store(base+cur*4096, base+next*4096)
+				cur = next
+			}
+		},
+	}
+	vr := NewVR(DefaultVRConfig())
+	runWith(t, k, func(c *cpu.Core) { vr.Bind(c) })
+	if vr.Stats.Activations == 0 {
+		t.Fatal("VR never activated on a chase")
+	}
+	if vr.Stats.ChainsVectorized != 0 {
+		t.Errorf("vectorized %d chains without any striding load", vr.Stats.ChainsVectorized)
+	}
+	if vr.Stats.ScalarInstrs == 0 {
+		t.Error("no scalar pre-execution recorded")
+	}
+}

@@ -1,0 +1,107 @@
+// Package cpu implements the cycle-driven out-of-order core model: a
+// 5-wide fetch/dispatch/issue/commit pipeline with a reorder buffer, issue
+// queue, load/store queues, per-class functional units and a front-end
+// pipeline whose depth sets the branch-misprediction penalty — the
+// synthetic equivalent of the paper's Sniper 6.0 core configured per its
+// Table 1.
+//
+// The model is execution-driven and value-correct: instructions compute
+// real results at issue using their producers' values, speculative state
+// lives in the reorder buffer, and architectural registers and memory are
+// updated only at commit, so wrong-path work is squashed without side
+// effects while its cache traffic (realistically) remains.
+package cpu
+
+import (
+	"vrsim/internal/branch"
+	"vrsim/internal/isa"
+)
+
+// Config describes the core. DefaultConfig mirrors the paper's Table 1.
+type Config struct {
+	// Width is the fetch/dispatch/issue/commit width.
+	Width int
+	// ROBSize is the reorder buffer capacity.
+	ROBSize int
+	// IQSize is the issue queue (scheduler) capacity.
+	IQSize int
+	// LQSize and SQSize bound in-flight loads and stores.
+	LQSize, SQSize int
+	// FrontendDepth is the number of front-end pipeline stages; it is the
+	// fetch-to-dispatch delay and thus the misprediction redirect penalty.
+	FrontendDepth int
+	// FetchBufSize bounds the decoded-instruction buffer between fetch
+	// and dispatch.
+	FetchBufSize int
+
+	// FUCount is the number of functional units per class.
+	FUCount [isa.NumFUClasses]int
+	// FULatency is the execution latency per class in cycles. Memory
+	// latency comes from the hierarchy, so FUMem holds only the
+	// address-generation cost.
+	FULatency [isa.NumFUClasses]uint64
+
+	// NewPredictor constructs the branch predictor for a core instance.
+	NewPredictor func() branch.Predictor
+
+	// MaxCycles aborts a run that exceeds this many cycles (0 = no limit);
+	// a guard against deadlocked configurations.
+	MaxCycles uint64
+}
+
+// DefaultConfig returns the Table 1 baseline: 4 GHz 5-wide out-of-order,
+// 350-entry ROB, 128-entry issue queue, 128/72 load/store queues, 15
+// front-end stages, TAGE-class branch prediction, and the listed unit mix
+// (4 int add, 1 int mul, 1 int div, 1 fp add, 1 fp mul, 1 fp div, 2 memory
+// ports, 2 branch units).
+func DefaultConfig() Config {
+	var cfg Config
+	cfg.Width = 5
+	cfg.ROBSize = 350
+	cfg.IQSize = 128
+	cfg.LQSize = 128
+	cfg.SQSize = 72
+	cfg.FrontendDepth = 15
+	cfg.FetchBufSize = 32
+
+	cfg.FUCount[isa.FUIntALU] = 4
+	cfg.FUCount[isa.FUIntMul] = 1
+	cfg.FUCount[isa.FUIntDiv] = 1
+	cfg.FUCount[isa.FUFPAdd] = 1
+	cfg.FUCount[isa.FUFPMul] = 1
+	cfg.FUCount[isa.FUFPDiv] = 1
+	cfg.FUCount[isa.FUMem] = 2
+	cfg.FUCount[isa.FUBranch] = 2
+
+	cfg.FULatency[isa.FUIntALU] = 1
+	cfg.FULatency[isa.FUIntMul] = 3
+	cfg.FULatency[isa.FUIntDiv] = 18
+	cfg.FULatency[isa.FUFPAdd] = 3
+	cfg.FULatency[isa.FUFPMul] = 5
+	cfg.FULatency[isa.FUFPDiv] = 6
+	cfg.FULatency[isa.FUMem] = 1
+	cfg.FULatency[isa.FUBranch] = 1
+
+	cfg.NewPredictor = func() branch.Predictor { return branch.NewTAGE(10) }
+	cfg.MaxCycles = 2_000_000_000
+	return cfg
+}
+
+// WithROB returns a copy of the config with the ROB (and, in proportion,
+// the issue and load/store queues) scaled to the given size — the knob the
+// ROB-sensitivity experiments sweep.
+func (c Config) WithROB(size int) Config {
+	out := c
+	out.ROBSize = size
+	out.IQSize = max(16, size*128/350)
+	out.LQSize = max(16, size*128/350)
+	out.SQSize = max(8, size*72/350)
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

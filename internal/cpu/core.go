@@ -1,0 +1,866 @@
+package cpu
+
+import (
+	"fmt"
+
+	"vrsim/internal/branch"
+	"vrsim/internal/isa"
+	"vrsim/internal/mem"
+)
+
+// Engine is a runahead engine attached to the core. The core calls Tick
+// once at the end of every cycle; the engine observes core state (stalls,
+// register context, spare issue bandwidth) and issues its own accesses into
+// the shared memory hierarchy. HoldCommit lets an engine model Vector
+// Runahead's delayed termination, which keeps the pipeline from resuming
+// commit until the vectorized chain finishes issuing.
+type Engine interface {
+	Tick(c *Core)
+	HoldCommit() bool
+}
+
+// StallCause classifies cycles in which the commit stage made no progress.
+type StallCause uint8
+
+// Stall causes.
+const (
+	StallNone     StallCause = iota // at least one instruction committed
+	StallEmpty                      // ROB empty (front-end starvation)
+	StallLoad                       // head is a load waiting on memory
+	StallExec                       // head still executing (non-load)
+	StallNotIssue                   // head waiting to issue (deps/ports)
+	StallHeld                       // commit held by the runahead engine
+	NumStallCauses
+)
+
+func (s StallCause) String() string {
+	switch s {
+	case StallNone:
+		return "none"
+	case StallEmpty:
+		return "frontend"
+	case StallLoad:
+		return "load"
+	case StallExec:
+		return "exec"
+	case StallNotIssue:
+		return "issue"
+	case StallHeld:
+		return "held"
+	}
+	return "?"
+}
+
+// Stats aggregates a run's performance counters.
+type Stats struct {
+	Cycles    uint64
+	Committed uint64
+	CommittedLoads,
+	CommittedStores,
+	CommittedBranches uint64
+	Mispredicts uint64
+	Fetched     uint64
+	Squashed    uint64
+	// MemOrderViolations counts loads squashed for reading memory before
+	// an older store to the same word resolved.
+	MemOrderViolations uint64
+
+	// CommitStall counts no-commit cycles by cause.
+	CommitStall [NumStallCauses]uint64
+	// ROBFullCycles counts cycles beginning with a full reorder buffer.
+	ROBFullCycles uint64
+	// ROBFullLoadMiss counts the subset of full-ROB cycles with an
+	// outstanding load miss at the head — the classic runahead trigger.
+	ROBFullLoadMiss uint64
+	// DispatchBlockedROB counts dispatch attempts rejected by a full ROB.
+	DispatchBlockedROB uint64
+	// ResourceStallCycles counts cycles in which dispatch was blocked by
+	// any full back-end resource (ROB, IQ, LQ or SQ) — the generalized
+	// "window cannot grow" condition runahead techniques key off. With
+	// load-dense kernels the load queue often saturates before the ROB.
+	ResourceStallCycles uint64
+	// ResourceStallLoadMiss counts resource-stall cycles with an
+	// outstanding load miss at the ROB head: the runahead trigger.
+	ResourceStallLoadMiss uint64
+	// FUIssued counts instructions issued per functional-unit class, for
+	// port-utilization reporting.
+	FUIssued [isa.NumFUClasses]uint64
+}
+
+// IPC returns committed instructions per cycle.
+func (s *Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Committed) / float64(s.Cycles)
+}
+
+// MispredictRate returns mispredictions per committed branch.
+func (s *Stats) MispredictRate() float64 {
+	if s.CommittedBranches == 0 {
+		return 0
+	}
+	return float64(s.Mispredicts) / float64(s.CommittedBranches)
+}
+
+const noProducer = -1
+
+type fetchSlot struct {
+	pc        int
+	in        isa.Instr
+	predTaken bool
+	hist      uint64 // GHR snapshot at fetch
+	readyAt   uint64 // cycle the slot clears the front-end pipeline
+}
+
+type robEntry struct {
+	seq       uint64
+	pc        int
+	in        isa.Instr
+	predTaken bool
+	hist      uint64 // GHR snapshot at fetch (squash recovery)
+
+	issued bool
+	done   bool
+	// readyCycle is when the result (or resolution) is available.
+	readyCycle uint64
+
+	val       uint64 // result; for stores, the value to write
+	addr      uint64 // effective address for memory ops
+	addrReady bool
+	valReady  bool // stores: value captured
+
+	srcRob [3]int
+	srcSeq [3]uint64
+	srcReg [3]isa.Reg
+	nsrc   int
+}
+
+// Core is one simulated out-of-order core bound to a program, a functional
+// backing store and a timing hierarchy.
+//
+// Memory disambiguation is speculative, as in modern cores: loads issue
+// past older stores with unresolved addresses, forwarding from resolved
+// matching stores; a store that later resolves to a word an already-issued
+// younger load read triggers an ordering violation — the load and
+// everything younger squash and refetch.
+type Core struct {
+	cfg  Config
+	prog *isa.Program
+	data *mem.Backing
+	hier *mem.Hierarchy
+	pred branch.Predictor
+
+	engine Engine
+
+	// LoadObserver, when set, is invoked for every demand load the main
+	// thread issues (including wrong-path ones, as in hardware). Vector
+	// Runahead trains its striding-load detector through it.
+	LoadObserver func(pc int, addr uint64)
+
+	cycle     uint64
+	statsBase uint64 // cycle at the last ResetStats (ROI support)
+	nextSeq   uint64
+	halted    bool
+
+	// Front end.
+	fetchPC      int
+	fetchStopped bool
+	frontQ       []fetchSlot
+	ghr          uint64 // speculative global history register
+
+	// Reorder buffer (ring).
+	rob   []robEntry
+	head  int
+	count int
+
+	// Scheduler state: ring slots, each list in program order.
+	iq       []int // dispatched, not yet issued
+	stores   []int // in-flight stores (forwarding and violation checks)
+	ldIssued []int // issued, uncommitted loads (violation targets)
+	lqCount  int
+	sqCount  int
+
+	// Rename state: architectural register -> producing ROB slot.
+	renameRob [isa.NumRegs]int
+	renameSeq [isa.NumRegs]uint64
+
+	// Committed architectural state.
+	archRegs [isa.NumRegs]uint64
+
+	// Committed-value capture per ROB slot (see operand()).
+	commitSeq []uint64
+	commitV   []uint64
+
+	fuUsed          [isa.NumFUClasses]int
+	issuedThisCycle int
+	squashEpoch     uint64 // bumped by every squash; detects mid-issue flushes
+	dispatchBlocked bool   // a back-end resource rejected dispatch this cycle
+
+	Stats Stats
+}
+
+// New builds a core over the program, backing store and hierarchy.
+func New(cfg Config, prog *isa.Program, data *mem.Backing, hier *mem.Hierarchy) *Core {
+	c := &Core{
+		cfg:  cfg,
+		prog: prog,
+		data: data,
+		hier: hier,
+		pred: cfg.NewPredictor(),
+		rob:  make([]robEntry, cfg.ROBSize),
+	}
+	c.commitSeq = make([]uint64, cfg.ROBSize)
+	c.commitV = make([]uint64, cfg.ROBSize)
+	for i := range c.renameRob {
+		c.renameRob[i] = noProducer
+	}
+	return c
+}
+
+// AttachEngine connects a runahead engine. Pass nil to detach.
+func (c *Core) AttachEngine(e Engine) { c.engine = e }
+
+// Cycle returns the current cycle number.
+func (c *Core) Cycle() uint64 { return c.cycle }
+
+// Hier returns the shared memory hierarchy.
+func (c *Core) Hier() *mem.Hierarchy { return c.hier }
+
+// Data returns the functional backing store.
+func (c *Core) Data() *mem.Backing { return c.data }
+
+// Program returns the program under execution.
+func (c *Core) Program() *isa.Program { return c.prog }
+
+// Predictor returns the core's branch predictor (engines use Predict only,
+// which is side-effect-free, to walk the predicted future path).
+func (c *Core) Predictor() branch.Predictor { return c.pred }
+
+// GHR returns the current speculative global history register; runahead
+// engines seed their local future history from it.
+func (c *Core) GHR() uint64 { return c.ghr }
+
+// Config returns the core configuration.
+func (c *Core) Config() Config { return c.cfg }
+
+// Halted reports whether a Halt has committed.
+func (c *Core) Halted() bool { return c.halted }
+
+// ArchRegs returns the committed architectural register file.
+func (c *Core) ArchRegs() [isa.NumRegs]uint64 { return c.archRegs }
+
+// SetArchReg initializes a committed register before the run starts.
+func (c *Core) SetArchReg(r isa.Reg, v uint64) { c.archRegs[r] = v }
+
+// SpareIssueSlots returns how many of this cycle's issue slots the main
+// thread left unused; runahead engines confine themselves to these.
+func (c *Core) SpareIssueSlots() int {
+	n := c.cfg.Width - c.issuedThisCycle
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// ROBFull reports whether the reorder buffer is at capacity.
+func (c *Core) ROBFull() bool { return c.count == c.cfg.ROBSize }
+
+// ROBOccupancy returns the number of in-flight instructions.
+func (c *Core) ROBOccupancy() int { return c.count }
+
+// slot maps an in-ROB ordinal (0 = head) to a ring index.
+func (c *Core) slot(i int) int { return (c.head + i) % c.cfg.ROBSize }
+
+// ordinal maps a ring index back to its in-ROB position.
+func (c *Core) ordinal(slot int) int {
+	return (slot - c.head + c.cfg.ROBSize) % c.cfg.ROBSize
+}
+
+// BlockedLoad describes the load miss blocking the ROB head, if any.
+type BlockedLoad struct {
+	PC   int
+	Done uint64 // cycle its data returns
+	// Full reports that the back end can no longer extend the window: the
+	// ROB is full or dispatch was rejected by a full IQ/LQ/SQ this cycle.
+	Full bool
+}
+
+// BlockedLoadAtHead reports whether the head of the ROB is an issued load
+// still waiting on memory — together with Full, the runahead trigger
+// condition.
+func (c *Core) BlockedLoadAtHead() (BlockedLoad, bool) {
+	if c.count == 0 {
+		return BlockedLoad{}, false
+	}
+	h := &c.rob[c.head]
+	if h.in.IsLoad() && h.issued && h.readyCycle > c.cycle {
+		full := c.ROBFull() || c.dispatchBlocked
+		return BlockedLoad{PC: h.pc, Done: h.readyCycle, Full: full}, true
+	}
+	return BlockedLoad{}, false
+}
+
+// RegContext is an approximate register snapshot for runahead
+// pre-execution: committed state plus completed in-flight results; values
+// produced by still-pending instructions (for example, outstanding loads)
+// are marked invalid, matching runahead's INV propagation.
+type RegContext struct {
+	Regs  [isa.NumRegs]uint64
+	Valid [isa.NumRegs]bool
+}
+
+// ApproxContext builds the runahead register context and the PC to
+// pre-execute from (the oldest unfinished instruction, normally the
+// blocking load at the ROB head).
+func (c *Core) ApproxContext() (ctx RegContext, startPC int) {
+	ctx.Regs = c.archRegs
+	for i := range ctx.Valid {
+		ctx.Valid[i] = true
+	}
+	startPC = c.fetchPC
+	if c.count > 0 {
+		startPC = c.rob[c.head].pc
+	}
+	for i := 0; i < c.count; i++ {
+		e := &c.rob[c.slot(i)]
+		if !e.in.WritesDst() {
+			continue
+		}
+		if e.done && e.readyCycle <= c.cycle {
+			ctx.Regs[e.in.Dst] = e.val
+			ctx.Valid[e.in.Dst] = true
+		} else {
+			ctx.Valid[e.in.Dst] = false
+		}
+	}
+	return ctx, startPC
+}
+
+// Step advances the simulation one cycle.
+func (c *Core) Step() {
+	if c.ROBFull() {
+		c.Stats.ROBFullCycles++
+		if bl, ok := c.BlockedLoadAtHead(); ok && bl.Full {
+			c.Stats.ROBFullLoadMiss++
+		}
+	}
+	c.commit()
+	c.issue()
+	c.dispatch()
+	c.fetch()
+	if c.dispatchBlocked {
+		c.Stats.ResourceStallCycles++
+		if bl, ok := c.BlockedLoadAtHead(); ok && bl.Done > c.cycle {
+			c.Stats.ResourceStallLoadMiss++
+		}
+	}
+	if c.engine != nil {
+		c.engine.Tick(c)
+	}
+	c.cycle++
+	c.Stats.Cycles = c.cycle - c.statsBase
+}
+
+// ResetStats zeroes the performance counters while preserving all
+// microarchitectural state — the region-of-interest boundary: run the
+// initialization phase, reset, then measure the steady state over warm
+// caches and predictors.
+func (c *Core) ResetStats() {
+	c.statsBase = c.cycle
+	c.Stats = Stats{}
+}
+
+// Run simulates until the program halts, `budget` instructions have
+// committed (0 = unlimited), or the configured cycle limit trips, which is
+// reported as an error.
+func (c *Core) Run(budget uint64) error {
+	for !c.halted && (budget == 0 || c.Stats.Committed < budget) {
+		if c.cfg.MaxCycles != 0 && c.cycle >= c.cfg.MaxCycles {
+			return fmt.Errorf("cpu: cycle limit %d exceeded at pc=%d (committed %d)",
+				c.cfg.MaxCycles, c.fetchPC, c.Stats.Committed)
+		}
+		c.Step()
+	}
+	return nil
+}
+
+// ---- commit ----
+
+func (c *Core) commit() {
+	if c.engine != nil && c.engine.HoldCommit() {
+		c.Stats.CommitStall[StallHeld]++
+		return
+	}
+	committed := 0
+	for committed < c.cfg.Width && c.count > 0 {
+		e := &c.rob[c.head]
+		if !e.done || e.readyCycle > c.cycle {
+			break
+		}
+		c.retire(e)
+		c.head = (c.head + 1) % c.cfg.ROBSize
+		c.count--
+		committed++
+		if c.halted {
+			break
+		}
+	}
+	if committed == 0 {
+		c.Stats.CommitStall[c.stallCause()]++
+	}
+}
+
+func (c *Core) stallCause() StallCause {
+	if c.count == 0 {
+		return StallEmpty
+	}
+	e := &c.rob[c.head]
+	if !e.issued {
+		return StallNotIssue
+	}
+	if e.in.IsLoad() {
+		return StallLoad
+	}
+	return StallExec
+}
+
+func (c *Core) retire(e *robEntry) {
+	c.Stats.Committed++
+	slot := c.head
+	switch {
+	case e.in.IsHalt():
+		c.halted = true
+	case e.in.IsStore():
+		c.Stats.CommittedStores++
+		c.sqCount--
+		c.dropSlot(&c.stores, slot)
+		c.data.Store(e.addr, e.val)
+		c.hier.Access(c.cycle, e.pc, e.addr, true, mem.ClassDemand, mem.SrcDemand)
+	case e.in.IsLoad():
+		c.Stats.CommittedLoads++
+		c.lqCount--
+		c.dropSlot(&c.ldIssued, slot)
+	case e.in.IsBranch():
+		c.Stats.CommittedBranches++
+	}
+	if e.in.WritesDst() {
+		c.archRegs[e.in.Dst] = e.val
+		c.commitSeq[slot] = e.seq
+		c.commitV[slot] = e.val
+		if c.renameRob[e.in.Dst] == slot && c.renameSeq[e.in.Dst] == e.seq {
+			c.renameRob[e.in.Dst] = noProducer
+		}
+	}
+}
+
+// dropSlot removes the (unique) slot from a scheduler list; commits always
+// remove the front, so the scan terminates immediately in practice.
+func (c *Core) dropSlot(list *[]int, slot int) {
+	l := *list
+	for i, s := range l {
+		if s == slot {
+			*list = append(l[:i], l[i+1:]...)
+			return
+		}
+	}
+}
+
+// ---- issue / execute ----
+
+// operand fetches the value of source k of entry e, reporting readiness.
+func (c *Core) operand(e *robEntry, k int) (uint64, bool) {
+	slot := e.srcRob[k]
+	if slot == noProducer {
+		return c.archRegs[e.srcReg[k]], true
+	}
+	p := &c.rob[slot]
+	if p.seq == e.srcSeq[k] {
+		if p.done && p.readyCycle <= c.cycle {
+			return p.val, true
+		}
+		return 0, false
+	}
+	// Producer already committed: its value was captured at retirement.
+	// (A recycled slot cannot have re-committed while this consumer is in
+	// flight, since the recycler is younger than the consumer.)
+	if c.commitSeq[slot] == e.srcSeq[k] {
+		return c.commitV[slot], true
+	}
+	return c.archRegs[e.srcReg[k]], true
+}
+
+func (c *Core) issue() {
+	for i := range c.fuUsed {
+		c.fuUsed[i] = 0
+	}
+	c.issuedThisCycle = 0
+
+	// Stores that issued without their value poll for it.
+	for _, slot := range c.stores {
+		e := &c.rob[slot]
+		if e.issued && !e.valReady {
+			if v, ok := c.operand(e, e.nsrc-1); ok {
+				e.val = v
+				e.valReady = true
+				e.done = true
+				e.readyCycle = c.cycle
+			}
+		}
+	}
+
+	// Select from the issue queue in program order.
+	w := 0
+	epoch := c.squashEpoch
+	for r := 0; r < len(c.iq); r++ {
+		slot := c.iq[r]
+		e := &c.rob[slot]
+		if e.issued {
+			continue // stale after a mid-cycle squash rebuild
+		}
+		if c.issuedThisCycle >= c.cfg.Width {
+			c.iq[w] = slot
+			w++
+			continue
+		}
+		fu := e.in.FU()
+		if c.fuUsed[fu] >= c.cfg.FUCount[fu] || !c.tryIssue(slot, e) {
+			c.iq[w] = slot
+			w++
+			continue
+		}
+		c.fuUsed[fu]++
+		c.Stats.FUIssued[fu]++
+		c.issuedThisCycle++
+		if c.squashEpoch != epoch {
+			// tryIssue squashed younger instructions and rebuilt c.iq;
+			// the iteration state is stale — stop for this cycle.
+			return
+		}
+	}
+	c.iq = c.iq[:w]
+}
+
+// tryIssue attempts to issue the entry; it returns true if the entry
+// consumed an issue slot. It may squash younger instructions (branch
+// mispredict, memory-ordering violation), invalidating c.iq — the caller
+// detects that via lastSquashSeq.
+func (c *Core) tryIssue(slot int, e *robEntry) bool {
+	switch {
+	case e.in.IsStore():
+		// Address sources are every source but the value (last).
+		var vals [2]uint64
+		for k := 0; k < e.nsrc-1; k++ {
+			v, ok := c.operand(e, k)
+			if !ok {
+				return false
+			}
+			vals[k] = v
+		}
+		e.addr = isa.EffAddr(e.in, vals[0], vals[1])
+		e.addrReady = true
+		e.issued = true
+		if v, ok := c.operand(e, e.nsrc-1); ok {
+			e.val = v
+			e.valReady = true
+			e.done = true
+			e.readyCycle = c.cycle + c.cfg.FULatency[isa.FUMem]
+		}
+		c.checkOrderViolation(e)
+		return true
+
+	case e.in.IsLoad():
+		var vals [2]uint64
+		for k := 0; k < e.nsrc; k++ {
+			v, ok := c.operand(e, k)
+			if !ok {
+				return false
+			}
+			vals[k] = v
+		}
+		addr := isa.EffAddr(e.in, vals[0], vals[1])
+		fwd, fwdVal, ready := c.forward(e.seq, addr)
+		if !ready {
+			return false
+		}
+		e.addr = addr
+		e.addrReady = true
+		e.issued = true
+		if c.LoadObserver != nil {
+			c.LoadObserver(e.pc, addr)
+		}
+		if fwd {
+			e.val = fwdVal
+			e.readyCycle = c.cycle + c.cfg.FULatency[isa.FUMem]
+		} else {
+			res := c.hier.Access(c.cycle, e.pc, addr, false, mem.ClassDemand, mem.SrcDemand)
+			e.val = c.data.Load(addr)
+			e.readyCycle = res.Done
+		}
+		e.done = true
+		c.ldIssued = append(c.ldIssued, slot)
+		return true
+
+	case e.in.IsBranch():
+		var a, b uint64
+		if e.in.IsCondBranch() {
+			var ok bool
+			if a, ok = c.operand(e, 0); !ok {
+				return false
+			}
+			if b, ok = c.operand(e, 1); !ok {
+				return false
+			}
+		}
+		e.issued = true
+		e.done = true
+		e.readyCycle = c.cycle + c.cfg.FULatency[isa.FUBranch]
+		taken := isa.BranchTaken(e.in, a, b)
+		if e.in.IsCondBranch() {
+			c.pred.Update(e.pc, e.hist, taken)
+			if taken != e.predTaken {
+				c.Stats.Mispredicts++
+				c.ghr = e.hist << 1
+				if taken {
+					c.ghr |= 1
+				}
+				next := e.pc + 1
+				if taken {
+					next = e.in.Target
+				}
+				c.squashFrom(c.ordinal(slot)+1, next)
+			}
+		}
+		return true
+
+	default:
+		var vals [2]uint64
+		for k := 0; k < e.nsrc; k++ {
+			v, ok := c.operand(e, k)
+			if !ok {
+				return false
+			}
+			vals[k] = v
+		}
+		e.issued = true
+		e.val = isa.ALUResult(e.in, vals[0], vals[1])
+		e.done = true
+		e.readyCycle = c.cycle + c.cfg.FULatency[e.in.FU()]
+		return true
+	}
+}
+
+// forward looks for the youngest older in-flight store to the same word.
+// A resolved match forwards (or delays the load until the value is ready);
+// unresolved older stores are speculated past.
+func (c *Core) forward(loadSeq uint64, addr uint64) (fwd bool, val uint64, ready bool) {
+	word := addr >> 3
+	for i := len(c.stores) - 1; i >= 0; i-- {
+		e := &c.rob[c.stores[i]]
+		if e.seq >= loadSeq {
+			continue
+		}
+		if !e.addrReady {
+			continue // speculate past unresolved stores
+		}
+		if e.addr>>3 == word {
+			if e.valReady {
+				return true, e.val, true
+			}
+			return false, 0, false // matching store, value not ready yet
+		}
+	}
+	return false, 0, true
+}
+
+// checkOrderViolation runs when a store resolves its address: any issued
+// younger load that already read the same word mis-speculated; squash from
+// the oldest such load and refetch.
+func (c *Core) checkOrderViolation(st *robEntry) {
+	word := st.addr >> 3
+	victim := -1
+	var victimSeq uint64
+	for _, slot := range c.ldIssued {
+		e := &c.rob[slot]
+		if e.seq > st.seq && e.addr>>3 == word {
+			if victim < 0 || e.seq < victimSeq {
+				victim = slot
+				victimSeq = e.seq
+			}
+		}
+	}
+	if victim < 0 {
+		return
+	}
+	c.Stats.MemOrderViolations++
+	e := &c.rob[victim]
+	c.ghr = e.hist
+	c.squashFrom(c.ordinal(victim), e.pc)
+}
+
+// squashFrom drops every ROB entry at ordinal >= i, rebuilds the scheduler
+// lists and rename table, and redirects fetch to pc.
+func (c *Core) squashFrom(i int, pc int) {
+	c.squashEpoch++
+	if i < c.count {
+		for j := i; j < c.count; j++ {
+			ent := &c.rob[c.slot(j)]
+			c.Stats.Squashed++
+			if ent.in.IsLoad() {
+				c.lqCount--
+			}
+			if ent.in.IsStore() {
+				c.sqCount--
+			}
+		}
+		c.count = i
+	}
+
+	// Rebuild the scheduler lists, keeping only surviving slots. The issue
+	// queue additionally drops entries that already issued (the squashing
+	// branch itself is live but no longer schedulable).
+	c.iq = c.filterLive(c.iq)
+	w := 0
+	for _, s := range c.iq {
+		if !c.rob[s].issued {
+			c.iq[w] = s
+			w++
+		}
+	}
+	c.iq = c.iq[:w]
+	c.stores = c.filterLive(c.stores)
+	c.ldIssued = c.filterLive(c.ldIssued)
+
+	// Rebuild the rename table from surviving entries.
+	for r := range c.renameRob {
+		c.renameRob[r] = noProducer
+	}
+	for j := 0; j < c.count; j++ {
+		ent := &c.rob[c.slot(j)]
+		if ent.in.WritesDst() {
+			c.renameRob[ent.in.Dst] = c.slot(j)
+			c.renameSeq[ent.in.Dst] = ent.seq
+		}
+	}
+
+	// Redirect fetch.
+	c.frontQ = c.frontQ[:0]
+	c.fetchStopped = false
+	c.fetchPC = pc
+}
+
+// filterLive keeps slots whose ordinal is within the surviving window and
+// whose entry has not been recycled.
+func (c *Core) filterLive(list []int) []int {
+	w := 0
+	for _, s := range list {
+		if c.ordinal(s) < c.count {
+			list[w] = s
+			w++
+		}
+	}
+	return list[:w]
+}
+
+// ---- dispatch ----
+
+func (c *Core) dispatch() {
+	c.dispatchBlocked = false
+	for n := 0; n < c.cfg.Width; n++ {
+		if len(c.frontQ) == 0 || c.frontQ[0].readyAt > c.cycle {
+			return
+		}
+		fs := c.frontQ[0]
+		if c.count == c.cfg.ROBSize {
+			c.Stats.DispatchBlockedROB++
+			c.dispatchBlocked = true
+			return
+		}
+		needsIQ := fs.in.Op != isa.Nop && !fs.in.IsHalt()
+		if needsIQ && len(c.iq) == c.cfg.IQSize {
+			c.dispatchBlocked = true
+			return
+		}
+		if fs.in.IsLoad() && c.lqCount == c.cfg.LQSize {
+			c.dispatchBlocked = true
+			return
+		}
+		if fs.in.IsStore() && c.sqCount == c.cfg.SQSize {
+			c.dispatchBlocked = true
+			return
+		}
+		c.frontQ = c.frontQ[1:]
+
+		idx := c.slot(c.count)
+		c.count++
+		c.nextSeq++
+		e := &c.rob[idx]
+		*e = robEntry{seq: c.nextSeq, pc: fs.pc, in: fs.in, predTaken: fs.predTaken, hist: fs.hist}
+
+		var srcs [3]isa.Reg
+		ns := 0
+		for _, r := range fs.in.Sources(srcs[:0]) {
+			e.srcReg[ns] = r
+			if p := c.renameRob[r]; p != noProducer {
+				e.srcRob[ns] = p
+				e.srcSeq[ns] = c.renameSeq[r]
+			} else {
+				e.srcRob[ns] = noProducer
+			}
+			ns++
+		}
+		e.nsrc = ns
+
+		if fs.in.WritesDst() {
+			c.renameRob[fs.in.Dst] = idx
+			c.renameSeq[fs.in.Dst] = e.seq
+		}
+		switch {
+		case fs.in.Op == isa.Nop, fs.in.IsHalt():
+			e.done = true
+			e.readyCycle = c.cycle
+		default:
+			c.iq = append(c.iq, idx)
+			if fs.in.IsLoad() {
+				c.lqCount++
+			}
+			if fs.in.IsStore() {
+				c.sqCount++
+				c.stores = append(c.stores, idx)
+			}
+		}
+	}
+}
+
+// ---- fetch ----
+
+func (c *Core) fetch() {
+	for n := 0; n < c.cfg.Width; n++ {
+		if c.fetchStopped || len(c.frontQ) >= c.cfg.FetchBufSize {
+			return
+		}
+		pc := c.fetchPC
+		in := c.prog.At(pc)
+		fs := fetchSlot{pc: pc, in: in, hist: c.ghr, readyAt: c.cycle + uint64(c.cfg.FrontendDepth)}
+		switch {
+		case in.IsHalt():
+			c.fetchStopped = true
+		case in.Op == isa.Jmp:
+			fs.predTaken = true
+			c.fetchPC = in.Target
+		case in.IsCondBranch():
+			fs.predTaken = c.pred.Predict(pc, c.ghr)
+			c.ghr <<= 1
+			if fs.predTaken {
+				c.ghr |= 1
+				c.fetchPC = in.Target
+			} else {
+				c.fetchPC = pc + 1
+			}
+		default:
+			c.fetchPC = pc + 1
+		}
+		c.frontQ = append(c.frontQ, fs)
+		c.Stats.Fetched++
+	}
+}

@@ -1,0 +1,338 @@
+package cpu
+
+import (
+	"math/rand"
+	"testing"
+
+	"vrsim/internal/isa"
+	"vrsim/internal/mem"
+)
+
+func TestMemOrderViolationDetected(t *testing.T) {
+	// A store whose address depends on a slow load, followed by a load to
+	// the same location: the young load speculates past the store, the
+	// store resolves later, and the core must squash and re-execute.
+	b := isa.NewBuilder("violate")
+	b.Li(1, 0x1000000) // far region: slow load
+	b.Li(2, 0x2000)    // target of the aliasing store/load
+	b.Li(3, 77)
+	b.StD(3, 2, 0)  // M[0x2000] = 77 (committed early)
+	b.LdD(4, 1, 0)  // slow load (cold miss)
+	b.AndI(4, 4, 0) // 0
+	b.Add(5, 2, 4)  // 0x2000, but only after the slow load returns
+	b.Li(6, 99)
+	b.StD(6, 5, 0) // store to 0x2000, address resolves late
+	b.LdD(7, 2, 0) // young load to 0x2000: speculates, must squash
+	b.Halt()
+	c, _ := newCore(b.MustBuild())
+	if err := c.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.ArchRegs()[7]; got != 99 {
+		t.Fatalf("r7 = %d, want 99 (store-to-load ordering broken)", got)
+	}
+	if c.Stats.MemOrderViolations == 0 {
+		t.Error("no ordering violation recorded; load did not speculate?")
+	}
+}
+
+func TestSpeculativeLoadsBypassUnresolvedStores(t *testing.T) {
+	// Independent young loads must NOT wait for an older store whose
+	// address is unresolved: the pipeline overlaps them (the fix that let
+	// the ROB fill on store-bearing kernels).
+	b := isa.NewBuilder("bypass")
+	b.Li(1, 0x1000000)
+	b.LdD(2, 1, 0)     // slow load
+	b.AndI(3, 2, 4088) // address depends on slow load
+	b.Li(4, 5)
+	b.St(4, 1, 3, 0, 8) // store with late-resolving address
+	// Younger, independent loads to a different region.
+	b.Li(5, 0x2000000)
+	b.LdD(6, 5, 0)
+	b.LdD(7, 5, 512)
+	b.Halt()
+	c, _ := newCore(b.MustBuild())
+	if err := c.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	// The independent loads and the slow load must have overlapped: with
+	// bypassing, total cycles stay near one memory round trip, not three.
+	if c.Stats.Cycles > 700 {
+		t.Errorf("cycles = %d; young loads serialized behind unresolved store", c.Stats.Cycles)
+	}
+}
+
+func TestResourceStallCounters(t *testing.T) {
+	// A load-dense pointer-ish kernel saturates the load queue: resource
+	// stalls must be recorded even though the ROB itself never fills.
+	b := isa.NewBuilder("lq-bound")
+	b.Li(1, 0x1000000)
+	b.Li(2, 0)
+	b.Li(3, 3000)
+	b.Label("loop")
+	b.Ld(4, 1, 2, 0, 0)
+	b.Ld(5, 1, 2, 0, 8192)
+	b.Add(6, 4, 5)
+	b.AddI(2, 2, 16384)
+	b.Blt(2, 3, "loop")
+	b.Li(7, 3000*16384)
+	b.Label("loop2")
+	b.Ld(4, 1, 2, 0, 0)
+	b.AddI(2, 2, 16384)
+	b.Blt(2, 7, "loop2")
+	b.Halt()
+	c, _ := newCore(b.MustBuild())
+	if err := c.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats.ResourceStallCycles == 0 {
+		t.Error("no resource stalls recorded on a load-dense kernel")
+	}
+	if c.Stats.ResourceStallLoadMiss == 0 {
+		t.Error("no trigger-condition cycles recorded")
+	}
+}
+
+func TestResetStatsKeepsState(t *testing.T) {
+	b := isa.NewBuilder("roi")
+	b.Li(1, 0)
+	b.Li(2, 4000)
+	b.Label("loop")
+	b.AddI(1, 1, 1)
+	b.Blt(1, 2, "loop")
+	b.Halt()
+	c, _ := newCore(b.MustBuild())
+	if err := c.Run(5000); err != nil {
+		t.Fatal(err)
+	}
+	preCommitted := c.Stats.Committed
+	c.ResetStats()
+	if c.Stats.Committed != 0 || c.Stats.Cycles != 0 {
+		t.Fatal("stats not cleared")
+	}
+	if err := c.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats.Committed == 0 {
+		t.Fatal("no progress after reset")
+	}
+	// Execution continued (did not restart): total work exceeds pre-reset.
+	if c.ArchRegs()[1] <= preCommitted/3 {
+		t.Error("architectural state appears reset")
+	}
+	if c.Stats.Cycles > c.Cycle() {
+		t.Error("windowed cycles exceed absolute cycles")
+	}
+}
+
+func TestLoadObserverSeesDemandLoads(t *testing.T) {
+	b := isa.NewBuilder("obs")
+	b.Li(1, 0x8000)
+	b.Li(2, 0)
+	b.Li(3, 50)
+	b.Label("loop")
+	b.Ld(4, 1, 2, 3, 0)
+	b.AddI(2, 2, 1)
+	b.Blt(2, 3, "loop")
+	b.Halt()
+	c, _ := newCore(b.MustBuild())
+	var pcs []int
+	var addrs []uint64
+	c.LoadObserver = func(pc int, addr uint64) {
+		pcs = append(pcs, pc)
+		addrs = append(addrs, addr)
+	}
+	if err := c.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(addrs) < 50 {
+		t.Fatalf("observer saw %d loads", len(addrs))
+	}
+	// The observed stream must include the strided sequence.
+	seen := map[uint64]bool{}
+	for _, a := range addrs {
+		seen[a] = true
+	}
+	for i := 0; i < 50; i++ {
+		if !seen[uint64(0x8000+8*i)] {
+			t.Fatalf("missing observed load of A[%d]", i)
+		}
+	}
+}
+
+func TestStallCauseAccounting(t *testing.T) {
+	// A pure dependency chain of multiplies: commit stalls classify as
+	// exec, not load.
+	b := isa.NewBuilder("mulchain")
+	b.Li(1, 3)
+	for i := 0; i < 50; i++ {
+		b.Mul(1, 1, 1)
+	}
+	b.Halt()
+	c, _ := newCore(b.MustBuild())
+	if err := c.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats.CommitStall[StallExec] == 0 {
+		t.Error("multiply chain recorded no exec stalls")
+	}
+	if c.Stats.CommitStall[StallLoad] != 0 {
+		t.Error("load stalls recorded with no loads")
+	}
+}
+
+func TestFrontendStallAfterMispredict(t *testing.T) {
+	// Unpredictable branches: after each squash the front end refills for
+	// FrontendDepth cycles, showing up as frontend (empty-ROB) stalls.
+	base := uint64(0x10000)
+	init := map[uint64]uint64{}
+	x := uint64(99)
+	for i := 0; i < 2000; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		init[base+uint64(i)*8] = x % 2
+	}
+	b := isa.NewBuilder("flaky")
+	b.Li(1, int64(base))
+	b.Li(2, 0)
+	b.Li(3, 2000)
+	b.Li(4, 0)
+	b.Label("loop")
+	b.Ld(5, 1, 2, 3, 0)
+	b.Beq(5, 0, "skip")
+	b.AddI(4, 4, 1)
+	b.Label("skip")
+	b.AddI(2, 2, 1)
+	b.Blt(2, 3, "loop")
+	b.Halt()
+	c, data := newCore(b.MustBuild())
+	for a, v := range init {
+		data.Store(a, v)
+	}
+	if err := c.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats.Mispredicts < 100 {
+		t.Fatalf("mispredicts = %d; branch data not random?", c.Stats.Mispredicts)
+	}
+	if c.Stats.CommitStall[StallEmpty] == 0 {
+		t.Error("no front-end refill stalls after mispredicts")
+	}
+}
+
+func TestWrongPathLoadsPolluteButDoNotCorrupt(t *testing.T) {
+	// A mispredicted branch guards a load from a "poison" region; the
+	// wrong-path load may touch the cache but never architectural state.
+	b := isa.NewBuilder("wrongpath")
+	b.Li(1, 0x10000)
+	b.Li(2, 0x7000000) // poison region
+	b.Li(3, 0)
+	b.Li(4, 400)
+	b.Li(7, 0)
+	b.Label("loop")
+	b.Ld(5, 1, 3, 3, 0) // value 0 or 1 (alternating: hard for bimodal only)
+	b.Bne(5, 0, "skip")
+	b.Ld(6, 2, 3, 3, 0) // only on the value==0 path
+	b.Add(7, 7, 6)
+	b.Label("skip")
+	b.AddI(3, 3, 1)
+	b.Blt(3, 4, "loop")
+	b.Halt()
+	c, data := newCore(b.MustBuild())
+	want := uint64(0)
+	x := uint64(5)
+	for i := 0; i < 400; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		data.Store(0x10000+uint64(i)*8, x%2)
+		data.Store(0x7000000+uint64(i)*8, uint64(i))
+		if x%2 == 0 {
+			want += uint64(i)
+		}
+	}
+	if err := c.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.ArchRegs()[7]; got != want {
+		t.Fatalf("r7 = %d, want %d", got, want)
+	}
+}
+
+func TestMSHRLimitsCoreMLP(t *testing.T) {
+	// Independent streaming misses with a tiny MSHR file: measured MLP
+	// must respect the cap.
+	b := isa.NewBuilder("stream")
+	b.Li(1, 0x1000000)
+	b.Li(2, 0)
+	b.Li(3, 2000*512)
+	b.Label("loop")
+	b.Ld(5, 1, 2, 0, 0)
+	b.AddI(2, 2, 512)
+	b.Blt(2, 3, "loop")
+	b.Halt()
+	cfg := mem.DefaultConfig()
+	cfg.MSHRs = 4
+	data := mem.NewBacking()
+	h := mem.NewHierarchy(cfg)
+	h.Data = data
+	c := New(DefaultConfig(), b.MustBuild(), data, h)
+	if err := c.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if mlp := h.MSHR.AvgOccupancy(c.Stats.Cycles); mlp > 4.01 {
+		t.Errorf("MLP %.2f exceeds 4-entry MSHR file", mlp)
+	}
+}
+
+// TestPipelineInvariants checks structural invariants over random kernels:
+// commit never exceeds fetch, IPC never exceeds the machine width, and the
+// ROB never over-fills.
+func TestPipelineInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	for trial := 0; trial < 6; trial++ {
+		b := isa.NewBuilder("inv")
+		b.Li(1, 0x100000)
+		b.Li(2, 0)
+		b.Li(3, int64(200+rng.Intn(400)))
+		b.Label("loop")
+		for k := 0; k < 4+rng.Intn(8); k++ {
+			dst := isa.Reg(4 + rng.Intn(6))
+			src := isa.Reg(4 + rng.Intn(6))
+			switch rng.Intn(3) {
+			case 0:
+				b.Add(dst, dst, src)
+			case 1:
+				b.AndI(10, src, 1023)
+				b.Ld(dst, 1, 10, 3, 0)
+			case 2:
+				b.Mul(dst, dst, src)
+			}
+		}
+		b.AddI(2, 2, 1)
+		b.Blt(2, 3, "loop")
+		b.Halt()
+		c, _ := newCore(b.MustBuild())
+		maxOcc := 0
+		for !c.Halted() {
+			c.Step()
+			if occ := c.ROBOccupancy(); occ > maxOcc {
+				maxOcc = occ
+			}
+		}
+		if maxOcc > c.Config().ROBSize {
+			t.Fatalf("ROB occupancy %d exceeds capacity", maxOcc)
+		}
+		if c.Stats.Committed > c.Stats.Fetched {
+			t.Fatalf("committed %d > fetched %d", c.Stats.Committed, c.Stats.Fetched)
+		}
+		if ipc := c.Stats.IPC(); ipc > float64(c.Config().Width) {
+			t.Fatalf("IPC %.2f exceeds width", ipc)
+		}
+		if c.Stats.Squashed+c.Stats.Committed > c.Stats.Fetched {
+			t.Fatalf("squashed+committed (%d) exceeds fetched (%d)",
+				c.Stats.Squashed+c.Stats.Committed, c.Stats.Fetched)
+		}
+	}
+}

@@ -1,0 +1,479 @@
+package cpu
+
+import (
+	"math/rand"
+	"testing"
+
+	"vrsim/internal/branch"
+	"vrsim/internal/isa"
+	"vrsim/internal/mem"
+)
+
+func newCore(p *isa.Program) (*Core, *mem.Backing) {
+	data := mem.NewBacking()
+	h := mem.NewHierarchy(mem.DefaultConfig())
+	h.Data = data
+	c := New(DefaultConfig(), p, data, h)
+	return c, data
+}
+
+// runBoth executes the program on the interpreter and the core over the
+// same initial memory image and checks that the final architectural
+// registers and the watched memory words agree.
+func runBoth(t *testing.T, p *isa.Program, init map[uint64]uint64, watch []uint64) (*Core, *isa.Interp) {
+	t.Helper()
+	dataI := mem.NewBacking()
+	for a, v := range init {
+		dataI.Store(a, v)
+	}
+	it := isa.NewInterp(p, dataI)
+	if err := it.Run(50_000_000); err != nil {
+		t.Fatalf("interp: %v", err)
+	}
+
+	c, dataC := newCore(p)
+	for a, v := range init {
+		dataC.Store(a, v)
+	}
+	if err := c.Run(0); err != nil {
+		t.Fatalf("core: %v", err)
+	}
+
+	regs := c.ArchRegs()
+	for r := 0; r < isa.NumRegs; r++ {
+		if regs[r] != it.Regs[r] {
+			t.Errorf("r%d: core=%d interp=%d", r, regs[r], it.Regs[r])
+		}
+	}
+	for _, a := range watch {
+		if g, w := dataC.Load(a), dataI.Load(a); g != w {
+			t.Errorf("mem[%#x]: core=%d interp=%d", a, g, w)
+		}
+	}
+	if c.Stats.Committed != it.Executed {
+		t.Errorf("committed=%d interp executed=%d", c.Stats.Committed, it.Executed)
+	}
+	return c, it
+}
+
+func TestStraightLineALU(t *testing.T) {
+	b := isa.NewBuilder("alu")
+	b.Li(1, 10)
+	b.Li(2, 3)
+	b.Add(3, 1, 2)
+	b.Mul(4, 3, 3)
+	b.Sub(5, 4, 1)
+	b.Div(6, 4, 2)
+	b.Halt()
+	c, _ := runBoth(t, b.MustBuild(), nil, nil)
+	regs := c.ArchRegs()
+	if regs[3] != 13 || regs[4] != 169 || regs[5] != 159 || regs[6] != 56 {
+		t.Errorf("regs = %v", regs[:8])
+	}
+	if c.Stats.Cycles == 0 || c.Stats.IPC() <= 0 {
+		t.Error("no cycles recorded")
+	}
+}
+
+func TestLoopExecution(t *testing.T) {
+	b := isa.NewBuilder("loop")
+	b.Li(1, 0)   // i
+	b.Li(2, 100) // n
+	b.Li(3, 0)   // acc
+	b.Label("loop")
+	b.Add(3, 3, 1)
+	b.AddI(1, 1, 1)
+	b.Blt(1, 2, "loop")
+	b.Halt()
+	c, _ := runBoth(t, b.MustBuild(), nil, nil)
+	if got := c.ArchRegs()[3]; got != 4950 {
+		t.Errorf("acc = %d", got)
+	}
+	// The loop branch is almost always taken; TAGE should be near-perfect.
+	if c.Stats.MispredictRate() > 0.1 {
+		t.Errorf("mispredict rate = %f", c.Stats.MispredictRate())
+	}
+}
+
+func TestStoreLoadForwarding(t *testing.T) {
+	b := isa.NewBuilder("fwd")
+	b.Li(1, 0x1000)
+	b.Li(2, 77)
+	b.StD(2, 1, 0)  // M[0x1000] = 77
+	b.LdD(3, 1, 0)  // should forward 77
+	b.AddI(3, 3, 1) // 78
+	b.StD(3, 1, 8)  // M[0x1008] = 78
+	b.LdD(4, 1, 8)  // forward 78
+	b.Halt()
+	c, _ := runBoth(t, b.MustBuild(), nil, []uint64{0x1000, 0x1008})
+	if c.ArchRegs()[4] != 78 {
+		t.Errorf("r4 = %d", c.ArchRegs()[4])
+	}
+	// The forwarded load must be fast: it must not go off-chip.
+	if c.Hier().DRAM.Accesses > 2 {
+		t.Errorf("DRAM accesses = %d; forwarding failed", c.Hier().DRAM.Accesses)
+	}
+}
+
+func TestStoreCommittedThenLoaded(t *testing.T) {
+	// A store followed much later by a load to the same address, after the
+	// store has left the ROB: the load must read the committed value.
+	b := isa.NewBuilder("wb")
+	b.Li(1, 0x2000)
+	b.Li(2, 123)
+	b.StD(2, 1, 0)
+	// Pad with dependent work so the store commits before the load issues.
+	b.Li(3, 0)
+	for i := 0; i < 40; i++ {
+		b.AddI(3, 3, 1)
+	}
+	b.LdD(4, 1, 0)
+	b.Halt()
+	c, _ := runBoth(t, b.MustBuild(), nil, []uint64{0x2000})
+	if c.ArchRegs()[4] != 123 {
+		t.Errorf("r4 = %d", c.ArchRegs()[4])
+	}
+}
+
+func TestDataDependentBranches(t *testing.T) {
+	// Sum only values below a threshold — data-dependent branching over
+	// pseudo-random data exercises mispredict squash and recovery.
+	base := uint64(0x10000)
+	n := 400
+	init := map[uint64]uint64{}
+	rng := rand.New(rand.NewSource(3))
+	want := uint64(0)
+	for i := 0; i < n; i++ {
+		v := uint64(rng.Intn(100))
+		init[base+uint64(i)*8] = v
+		if v < 50 {
+			want += v
+		}
+	}
+	b := isa.NewBuilder("cond-sum")
+	b.Li(1, int64(base)) // base
+	b.Li(2, 0)           // i
+	b.Li(3, int64(n))    // n
+	b.Li(4, 0)           // acc
+	b.Li(5, 50)          // threshold
+	b.Label("loop")
+	b.Ld(6, 1, 2, 3, 0) // v = A[i]
+	b.Bge(6, 5, "skip")
+	b.Add(4, 4, 6)
+	b.Label("skip")
+	b.AddI(2, 2, 1)
+	b.Blt(2, 3, "loop")
+	b.Halt()
+	c, _ := runBoth(t, b.MustBuild(), init, nil)
+	if got := c.ArchRegs()[4]; got != want {
+		t.Errorf("acc = %d, want %d", got, want)
+	}
+	if c.Stats.Mispredicts == 0 {
+		t.Error("expected some mispredictions on random data")
+	}
+	if c.Stats.Squashed == 0 {
+		t.Error("expected squashed instructions")
+	}
+}
+
+func TestPointerChaseStallsROB(t *testing.T) {
+	// A dependent pointer chase over a region far larger than the LLC:
+	// every load misses and the ROB fills behind it.
+	n := 1 << 16 // 64K nodes * 512B spacing = 32MB > 8MB LLC
+	base := uint64(0x1000000)
+	init := map[uint64]uint64{}
+	perm := rand.New(rand.NewSource(9)).Perm(n)
+	// next[i] = perm chain; node i at base + i*512.
+	cur := 0
+	for k := 0; k < n; k++ {
+		next := perm[k]
+		init[base+uint64(cur)*512] = base + uint64(next)*512
+		cur = next
+	}
+	b := isa.NewBuilder("chase")
+	b.Li(1, int64(base))
+	b.Li(2, 0)
+	b.Li(3, 2000) // iterations
+	b.Label("loop")
+	b.LdD(1, 1, 0) // p = *p
+	b.AddI(2, 2, 1)
+	b.Blt(2, 3, "loop")
+	b.Halt()
+	c, data := newCore(b.MustBuild())
+	for a, v := range init {
+		data.Store(a, v)
+	}
+	if err := c.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats.CommitStall[StallLoad] == 0 {
+		t.Error("pointer chase should stall commit on loads")
+	}
+	if c.Stats.ROBFullCycles == 0 {
+		t.Error("pointer chase should fill the ROB")
+	}
+	if c.Stats.ROBFullLoadMiss == 0 {
+		t.Error("full-ROB-with-load-miss trigger never observed")
+	}
+	// IPC must be tiny: one serialized miss dominates each iteration.
+	if ipc := c.Stats.IPC(); ipc > 0.5 {
+		t.Errorf("pointer chase IPC = %f, too high", ipc)
+	}
+}
+
+func TestIndependentMissesOverlap(t *testing.T) {
+	// Independent streaming misses should overlap: IPC must beat the
+	// pointer chase by a wide margin and MLP must exceed 1.
+	b := isa.NewBuilder("stream")
+	b.Li(1, 0x1000000)
+	b.Li(2, 0)
+	b.Li(3, 4000)
+	b.Li(4, 0)
+	b.Label("loop")
+	b.Ld(5, 1, 2, 0, 0) // A[i] (stride 1<<9 via index shl)
+	b.Add(4, 4, 5)
+	b.AddI(2, 2, 512) // 512-byte stride defeats the line; keeps pf simple
+	b.Li(6, 4000*512)
+	b.Blt(2, 6, "loop")
+	b.Halt()
+	c, _ := newCore(b.MustBuild())
+	if err := c.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	mlp := c.Hier().MSHR.AvgOccupancy(c.Stats.Cycles)
+	if mlp < 1.0 {
+		t.Errorf("streaming MLP = %f, expected > 1", mlp)
+	}
+}
+
+func TestHaltOnWrongPathRecovers(t *testing.T) {
+	// A branch guards a Halt; prediction will sometimes fetch the Halt on
+	// the wrong path. Execution must still complete the loop correctly.
+	b := isa.NewBuilder("wrong-halt")
+	b.Li(1, 0)
+	b.Li(2, 50)
+	b.Label("loop")
+	b.AddI(1, 1, 1)
+	b.Bge(1, 2, "done")
+	b.Jmp("loop")
+	b.Label("done")
+	b.Halt()
+	c, _ := runBoth(t, b.MustBuild(), nil, nil)
+	if c.ArchRegs()[1] != 50 {
+		t.Errorf("r1 = %d", c.ArchRegs()[1])
+	}
+}
+
+func TestRandomProgramsMatchInterp(t *testing.T) {
+	// Structured random kernels: random ALU dataflow inside a counted loop
+	// with random loads from an initialized region and stores to a second
+	// region. Core and interpreter must agree exactly.
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 8; trial++ {
+		baseA := uint64(0x100000)
+		baseB := uint64(0x900000)
+		init := map[uint64]uint64{}
+		for i := 0; i < 256; i++ {
+			init[baseA+uint64(i)*8] = rng.Uint64() % 1000
+		}
+		b := isa.NewBuilder("rand")
+		b.Li(1, int64(baseA))
+		b.Li(2, int64(baseB))
+		b.Li(3, 0)  // i
+		b.Li(4, 60) // n iterations
+		for r := isa.Reg(5); r < 12; r++ {
+			b.Li(r, int64(rng.Intn(100)))
+		}
+		b.Label("loop")
+		for k := 0; k < 12; k++ {
+			op := rng.Intn(7)
+			dst := isa.Reg(5 + rng.Intn(7))
+			s1 := isa.Reg(5 + rng.Intn(7))
+			s2 := isa.Reg(5 + rng.Intn(7))
+			switch op {
+			case 0:
+				b.Add(dst, s1, s2)
+			case 1:
+				b.Sub(dst, s1, s2)
+			case 2:
+				b.Xor(dst, s1, s2)
+			case 3:
+				b.Mul(dst, s1, s2)
+			case 4:
+				// Bounded random load: idx = s1 & 255.
+				b.AndI(12, s1, 255)
+				b.Ld(dst, 1, 12, 3, 0)
+			case 5:
+				// Store to B[i].
+				b.St(s1, 2, 3, 3, 0)
+			case 6:
+				b.Max(dst, s1, s2)
+			}
+		}
+		b.AddI(3, 3, 1)
+		b.Blt(3, 4, "loop")
+		b.Halt()
+		watch := make([]uint64, 60)
+		for i := range watch {
+			watch[i] = baseB + uint64(i)*8
+		}
+		runBoth(t, b.MustBuild(), init, watch)
+	}
+}
+
+func TestInstructionBudgetStopsRun(t *testing.T) {
+	b := isa.NewBuilder("spin")
+	b.Li(1, 0)
+	b.Label("top")
+	b.AddI(1, 1, 1)
+	b.Jmp("top")
+	c, _ := newCore(b.MustBuild())
+	if err := c.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if c.Halted() {
+		t.Error("spin loop cannot halt")
+	}
+	if c.Stats.Committed < 1000 {
+		t.Errorf("committed = %d", c.Stats.Committed)
+	}
+}
+
+func TestMaxCyclesGuard(t *testing.T) {
+	b := isa.NewBuilder("spin")
+	b.Label("top")
+	b.Jmp("top")
+	cfg := DefaultConfig()
+	cfg.MaxCycles = 5000
+	data := mem.NewBacking()
+	h := mem.NewHierarchy(mem.DefaultConfig())
+	c := New(cfg, b.MustBuild(), data, h)
+	if err := c.Run(0); err == nil {
+		t.Fatal("expected cycle-limit error")
+	}
+}
+
+func TestWithROBScaling(t *testing.T) {
+	cfg := DefaultConfig()
+	small := cfg.WithROB(128)
+	if small.ROBSize != 128 || small.IQSize >= cfg.IQSize || small.SQSize >= cfg.SQSize {
+		t.Errorf("WithROB(128) = %+v", small)
+	}
+	big := cfg.WithROB(512)
+	if big.IQSize <= cfg.IQSize {
+		t.Errorf("WithROB(512) IQ = %d", big.IQSize)
+	}
+}
+
+func TestSetArchRegSeedsState(t *testing.T) {
+	b := isa.NewBuilder("seed")
+	b.AddI(2, 1, 5)
+	b.Halt()
+	c, _ := newCore(b.MustBuild())
+	c.SetArchReg(1, 37)
+	if err := c.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if c.ArchRegs()[2] != 42 {
+		t.Errorf("r2 = %d", c.ArchRegs()[2])
+	}
+}
+
+func TestApproxContextMarksPendingInvalid(t *testing.T) {
+	// Chase one far miss; while it is outstanding the context must mark
+	// its destination invalid.
+	b := isa.NewBuilder("ctx")
+	b.Li(1, 0x1000000)
+	b.LdD(2, 1, 0)
+	b.AddI(3, 2, 1)
+	b.Halt()
+	c, _ := newCore(b.MustBuild())
+	// Step until the load has issued but not completed.
+	for i := 0; i < 40; i++ {
+		c.Step()
+		if bl, ok := c.BlockedLoadAtHead(); ok && bl.Done > c.Cycle() {
+			ctx, startPC := c.ApproxContext()
+			if ctx.Valid[2] {
+				t.Fatal("pending load destination should be invalid")
+			}
+			if !ctx.Valid[1] || ctx.Regs[1] != 0x1000000 {
+				t.Fatal("completed Li result should be valid in context")
+			}
+			if startPC != 1 {
+				t.Fatalf("startPC = %d, want 1 (the blocked load)", startPC)
+			}
+			return
+		}
+	}
+	t.Fatal("never observed the blocked load at head")
+}
+
+func TestEngineHoldCommitStallsPipeline(t *testing.T) {
+	b := isa.NewBuilder("held")
+	b.Li(1, 1)
+	b.Li(2, 2)
+	b.Halt()
+	c, _ := newCore(b.MustBuild())
+	c.AttachEngine(&holdEngine{holdUntil: 100})
+	if err := c.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats.CommitStall[StallHeld] == 0 {
+		t.Error("held cycles not recorded")
+	}
+	if c.Stats.Cycles < 100 {
+		t.Errorf("cycles = %d; commit hold ignored", c.Stats.Cycles)
+	}
+}
+
+type holdEngine struct {
+	cycle     uint64
+	holdUntil uint64
+}
+
+func (h *holdEngine) Tick(c *Core)     { h.cycle = c.Cycle() }
+func (h *holdEngine) HoldCommit() bool { return h.cycle < h.holdUntil }
+
+func TestBimodalVsTAGEOnCore(t *testing.T) {
+	// Alternating-direction branch: TAGE should commit in fewer cycles
+	// than bimodal thanks to fewer squashes.
+	build := func() *isa.Program {
+		b := isa.NewBuilder("alt")
+		b.Li(1, 0)
+		b.Li(2, 2000)
+		b.Li(3, 0)
+		b.Label("loop")
+		b.AndI(4, 1, 1)
+		b.Li(5, 0)
+		b.Beq(4, 5, "even")
+		b.AddI(3, 3, 2)
+		b.Jmp("next")
+		b.Label("even")
+		b.AddI(3, 3, 1)
+		b.Label("next")
+		b.AddI(1, 1, 1)
+		b.Blt(1, 2, "loop")
+		b.Halt()
+		return b.MustBuild()
+	}
+	run := func(np func() branch.Predictor) *Core {
+		cfg := DefaultConfig()
+		cfg.NewPredictor = np
+		data := mem.NewBacking()
+		h := mem.NewHierarchy(mem.DefaultConfig())
+		h.Data = data
+		c := New(cfg, build(), data, h)
+		if err := c.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	tage := run(func() branch.Predictor { return branch.NewTAGE(10) })
+	bim := run(func() branch.Predictor { return branch.NewBimodal(12) })
+	if tage.Stats.Mispredicts >= bim.Stats.Mispredicts {
+		t.Errorf("tage mispredicts %d >= bimodal %d", tage.Stats.Mispredicts, bim.Stats.Mispredicts)
+	}
+	if tage.Stats.Cycles >= bim.Stats.Cycles {
+		t.Errorf("tage cycles %d >= bimodal %d", tage.Stats.Cycles, bim.Stats.Cycles)
+	}
+}

@@ -1,0 +1,180 @@
+// Package graph provides the compressed-sparse-row graph representation
+// and the synthetic generators standing in for the paper's GAP inputs:
+// Kronecker (KR, power-law, like Graph500) and uniform-random (UR, Erdős–
+// Rényi-style). The paper's billion-edge inputs are replaced by
+// laptop-scale instances whose working sets still exceed the 8 MB LLC; the
+// property that differentiates KR from UR in the evaluation — heavy-tailed
+// versus uniform degree distributions — is preserved by construction.
+package graph
+
+import "sort"
+
+// CSR is a directed graph in compressed sparse row form.
+type CSR struct {
+	// RowPtr has NumNodes+1 entries; the neighbors of u are
+	// ColIdx[RowPtr[u]:RowPtr[u+1]].
+	RowPtr []uint64
+	ColIdx []uint64
+	// Weights holds per-edge weights parallel to ColIdx (for sssp); nil
+	// for unweighted graphs.
+	Weights []uint64
+}
+
+// NumNodes returns the vertex count.
+func (g *CSR) NumNodes() int { return len(g.RowPtr) - 1 }
+
+// NumEdges returns the directed edge count.
+func (g *CSR) NumEdges() int { return len(g.ColIdx) }
+
+// Degree returns the out-degree of u.
+func (g *CSR) Degree(u int) int { return int(g.RowPtr[u+1] - g.RowPtr[u]) }
+
+// Neighbors returns the adjacency slice of u.
+func (g *CSR) Neighbors(u int) []uint64 { return g.ColIdx[g.RowPtr[u]:g.RowPtr[u+1]] }
+
+// MaxDegree returns the largest out-degree.
+func (g *CSR) MaxDegree() int {
+	m := 0
+	for u := 0; u < g.NumNodes(); u++ {
+		if d := g.Degree(u); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// rng is a splitmix64-seeded xorshift generator: deterministic, cheap,
+// independent of math/rand for reproducibility across Go versions.
+type rng struct{ s uint64 }
+
+func newRNG(seed uint64) *rng {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &rng{s: seed}
+}
+
+func (r *rng) next() uint64 {
+	r.s ^= r.s << 13
+	r.s ^= r.s >> 7
+	r.s ^= r.s << 17
+	return r.s
+}
+
+// intn returns a value in [0, n).
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// fromEdges builds a CSR from an edge list, sorting adjacency lists and
+// keeping duplicate edges (as Graph500 generators do).
+func fromEdges(n int, src, dst []uint64, weighted bool, rnd *rng) *CSR {
+	deg := make([]uint64, n+1)
+	for _, u := range src {
+		deg[u+1]++
+	}
+	for i := 1; i <= n; i++ {
+		deg[i] += deg[i-1]
+	}
+	col := make([]uint64, len(dst))
+	next := make([]uint64, n)
+	for i, u := range src {
+		col[deg[u]+next[u]] = dst[i]
+		next[u]++
+	}
+	for u := 0; u < n; u++ {
+		s := col[deg[u]:deg[u+1]]
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	}
+	g := &CSR{RowPtr: deg, ColIdx: col}
+	if weighted {
+		g.Weights = make([]uint64, len(col))
+		for i := range g.Weights {
+			g.Weights[i] = 1 + rnd.next()%255
+		}
+	}
+	return g
+}
+
+// Uniform generates a UR-style graph: n nodes, degree*n directed edges with
+// both endpoints uniform. Degree concentration is tight (Poisson-like), the
+// property that starves Vector Runahead of long inner loops in the paper's
+// UR results.
+func Uniform(n, avgDegree int, seed uint64, weighted bool) *CSR {
+	r := newRNG(seed)
+	m := n * avgDegree
+	src := make([]uint64, m)
+	dst := make([]uint64, m)
+	for i := 0; i < m; i++ {
+		src[i] = uint64(r.intn(n))
+		dst[i] = uint64(r.intn(n))
+	}
+	return fromEdges(n, src, dst, weighted, r)
+}
+
+// Kronecker generates a KR-style power-law graph with 2^scale nodes and
+// edgeFactor*2^scale edges using the Graph500 RMAT parameters
+// (A,B,C) = (0.57, 0.19, 0.19). A few vertices collect enormous adjacency
+// lists — the long inner loops VR vectorizes profitably.
+func Kronecker(scale, edgeFactor int, seed uint64, weighted bool) *CSR {
+	r := newRNG(seed)
+	n := 1 << scale
+	m := n * edgeFactor
+	src := make([]uint64, m)
+	dst := make([]uint64, m)
+	const a, b, c = 57, 19, 19 // percent; d = 5
+	for i := 0; i < m; i++ {
+		var u, v uint64
+		for bit := 0; bit < scale; bit++ {
+			p := r.next() % 100
+			switch {
+			case p < a:
+				// u:0 v:0
+			case p < a+b:
+				v |= 1 << bit
+			case p < a+b+c:
+				u |= 1 << bit
+			default:
+				u |= 1 << bit
+				v |= 1 << bit
+			}
+		}
+		// Permute vertex labels so the heavy vertices are scattered.
+		src[i] = scramble(u, uint64(n))
+		dst[i] = scramble(v, uint64(n))
+	}
+	return fromEdges(n, src, dst, weighted, r)
+}
+
+// scramble applies a fixed odd-multiplier permutation modulo a power of two.
+func scramble(x, n uint64) uint64 {
+	return (x*0x9e3779b97f4a7c15 + 0x7f4a7c15) & (n - 1)
+}
+
+// DegreeStats summarizes a degree distribution.
+type DegreeStats struct {
+	Avg    float64
+	Max    int
+	P99    int
+	Zeroes int // vertices with no out-edges
+}
+
+// Degrees computes distribution statistics.
+func (g *CSR) Degrees() DegreeStats {
+	n := g.NumNodes()
+	ds := make([]int, n)
+	var sum, zeroes int
+	for u := 0; u < n; u++ {
+		d := g.Degree(u)
+		ds[u] = d
+		sum += d
+		if d == 0 {
+			zeroes++
+		}
+	}
+	sort.Ints(ds)
+	return DegreeStats{
+		Avg:    float64(sum) / float64(n),
+		Max:    ds[n-1],
+		P99:    ds[n*99/100],
+		Zeroes: zeroes,
+	}
+}

@@ -1,0 +1,133 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestUniformBasics(t *testing.T) {
+	g := Uniform(1024, 8, 1, false)
+	if g.NumNodes() != 1024 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	if g.NumEdges() != 1024*8 {
+		t.Fatalf("edges = %d", g.NumEdges())
+	}
+	ds := g.Degrees()
+	if ds.Avg != 8 {
+		t.Errorf("avg degree = %f", ds.Avg)
+	}
+	// Uniform degrees concentrate: the max should stay near the mean.
+	if ds.Max > 40 {
+		t.Errorf("uniform max degree = %d, suspiciously heavy tail", ds.Max)
+	}
+}
+
+func TestKroneckerPowerLaw(t *testing.T) {
+	g := Kronecker(12, 16, 1, false)
+	if g.NumNodes() != 1<<12 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	if g.NumEdges() != (1<<12)*16 {
+		t.Fatalf("edges = %d", g.NumEdges())
+	}
+	ds := g.Degrees()
+	// Power-law: the max degree dwarfs the average; many zero-degree nodes.
+	if float64(ds.Max) < 10*ds.Avg {
+		t.Errorf("kron max degree %d not heavy-tailed (avg %f)", ds.Max, ds.Avg)
+	}
+	if ds.Zeroes == 0 {
+		t.Error("kron graphs should have isolated vertices")
+	}
+	u := Uniform(1<<12, 16, 1, false)
+	if g.MaxDegree() <= 2*u.MaxDegree() {
+		t.Errorf("kron max (%d) should far exceed uniform max (%d)", g.MaxDegree(), u.MaxDegree())
+	}
+}
+
+func TestCSRConsistency(t *testing.T) {
+	check := func(g *CSR) {
+		t.Helper()
+		n := g.NumNodes()
+		if int(g.RowPtr[n]) != len(g.ColIdx) {
+			t.Fatal("rowptr does not cover colidx")
+		}
+		total := 0
+		for u := 0; u < n; u++ {
+			nb := g.Neighbors(u)
+			total += len(nb)
+			for i := 1; i < len(nb); i++ {
+				if nb[i-1] > nb[i] {
+					t.Fatalf("neighbors of %d not sorted", u)
+				}
+			}
+			for _, v := range nb {
+				if int(v) >= n {
+					t.Fatalf("edge target %d out of range", v)
+				}
+			}
+		}
+		if total != g.NumEdges() {
+			t.Fatalf("degree sum %d != edges %d", total, g.NumEdges())
+		}
+	}
+	check(Uniform(500, 4, 7, false))
+	check(Kronecker(9, 8, 7, false))
+}
+
+func TestWeightsRange(t *testing.T) {
+	g := Uniform(256, 4, 3, true)
+	if len(g.Weights) != g.NumEdges() {
+		t.Fatal("weights length mismatch")
+	}
+	for _, w := range g.Weights {
+		if w < 1 || w > 255 {
+			t.Fatalf("weight %d out of [1,255]", w)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Kronecker(10, 8, 42, true)
+	b := Kronecker(10, 8, 42, true)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("nondeterministic edge count")
+	}
+	for i := range a.ColIdx {
+		if a.ColIdx[i] != b.ColIdx[i] || a.Weights[i] != b.Weights[i] {
+			t.Fatal("nondeterministic generation")
+		}
+	}
+	c := Kronecker(10, 8, 43, true)
+	same := true
+	for i := range a.ColIdx {
+		if i >= len(c.ColIdx) || a.ColIdx[i] != c.ColIdx[i] {
+			same = false
+			break
+		}
+	}
+	if same && a.NumEdges() == c.NumEdges() {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+// Property: every generated graph is structurally valid CSR.
+func TestGeneratorProperty(t *testing.T) {
+	f := func(seed uint64, scaleRaw uint8) bool {
+		scale := 6 + int(scaleRaw%4)
+		g := Kronecker(scale, 4, seed, false)
+		n := g.NumNodes()
+		if len(g.RowPtr) != n+1 || int(g.RowPtr[n]) != len(g.ColIdx) {
+			return false
+		}
+		for u := 0; u < n; u++ {
+			if g.RowPtr[u] > g.RowPtr[u+1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,432 @@
+package harness
+
+import (
+	"fmt"
+
+	"vrsim/internal/core"
+	"vrsim/internal/cpu"
+	"vrsim/internal/mem"
+	"vrsim/internal/workloads"
+)
+
+// Options parameterize the experiment drivers. The zero value selects
+// paper-faithful defaults; tests and benchmarks dial budgets and workload
+// sets down.
+type Options struct {
+	// MaxBudget caps per-run instructions (default 1M).
+	MaxBudget uint64
+	// Workloads filters the benchmark set by name (nil = the experiment's
+	// default set).
+	Workloads []string
+	// ROBSizes overrides the F2 sweep points.
+	ROBSizes []int
+	// VectorLengths overrides the F12 sweep points.
+	VectorLengths []int
+	// Progress, when set, receives one line per completed run.
+	Progress func(msg string)
+}
+
+func (o *Options) budget() uint64 {
+	if o.MaxBudget == 0 {
+		return 1_000_000
+	}
+	return o.MaxBudget
+}
+
+func (o *Options) note(format string, args ...any) {
+	if o.Progress != nil {
+		o.Progress(fmt.Sprintf(format, args...))
+	}
+}
+
+// loadWorkloads materializes the selected workloads (all 18 by default).
+func (o *Options) loadWorkloads(def []string) ([]*workloads.Workload, error) {
+	names := o.Workloads
+	if names == nil {
+		names = def
+		if names == nil {
+			names = workloads.Names()
+		}
+	}
+	ws := make([]*workloads.Workload, 0, len(names))
+	for _, n := range names {
+		o.note("building %s", n)
+		w, err := workloads.ByName(n)
+		if err != nil {
+			return nil, err
+		}
+		ws = append(ws, w)
+	}
+	return ws, nil
+}
+
+func (o *Options) run(w *workloads.Workload, rc RunConfig) (Result, error) {
+	rc.MaxBudget = o.budget()
+	o.note("running %s/%s", w.Name, rc.Tech)
+	return Run(w, rc)
+}
+
+// sweepSet is the default workload subset for the expensive multi-point
+// sweeps (F2, F12): one representative per domain class.
+var sweepSet = []string{"bfs_kr", "sssp_kr", "camel", "hj8", "kangaroo"}
+
+// ExpT1Config renders the baseline core configuration (paper Table 1).
+func ExpT1Config() *Table {
+	cfg := cpu.DefaultConfig()
+	m := mem.DefaultConfig()
+	t := &Table{ID: "T1", Title: "Baseline out-of-order core configuration", Header: []string{"parameter", "value"}}
+	t.AddRow("core", "4.0 GHz out-of-order")
+	t.AddRow("ROB size", d(uint64(cfg.ROBSize)))
+	t.AddRow("queue sizes", fmt.Sprintf("issue (%d), load (%d), store (%d)", cfg.IQSize, cfg.LQSize, cfg.SQSize))
+	t.AddRow("processor width", fmt.Sprintf("%d-wide fetch/dispatch/issue/commit", cfg.Width))
+	t.AddRow("pipeline depth", fmt.Sprintf("%d front-end stages", cfg.FrontendDepth))
+	t.AddRow("branch predictor", "TAGE (4 tagged tables, geometric histories 8..64)")
+	t.AddRow("functional units", "4 int add (1c), 1 int mul (3c), 1 int div (18c)")
+	t.AddRow("", "1 fp add (3c), 1 fp mul (5c), 1 fp div (6c), 2 mem ports")
+	t.AddRow("L1 D-cache", fmt.Sprintf("%d KB, assoc %d, %d-cycle, %d MSHRs, stride pf (16 streams)",
+		m.L1SizeBytes>>10, m.L1Ways, m.L1Latency, m.MSHRs))
+	t.AddRow("private L2", fmt.Sprintf("%d KB, assoc %d, %d-cycle", m.L2SizeBytes>>10, m.L2Ways, m.L2Latency))
+	t.AddRow("shared L3", fmt.Sprintf("%d MB, assoc %d, %d-cycle", m.L3SizeBytes>>20, m.L3Ways, m.L3Latency))
+	t.AddRow("memory", fmt.Sprintf("%.0f ns min latency, %.1f GB/s, request-based contention", m.DRAMMinNS, m.DRAMGBs))
+	return t
+}
+
+// ExpT2Graphs reports the synthetic graph inputs and their measured
+// pressure on the LLC (paper Table 2 analogue: nodes, edges, LLC MPKI
+// aggregated over the GAP kernels).
+func ExpT2Graphs(opt Options) (*Table, error) {
+	t := &Table{ID: "T2", Title: "Graph inputs (synthetic stand-ins for Table 2)",
+		Header: []string{"input", "kernel", "nodes", "edges", "LLC MPKI (ooo)"}}
+	kernels := map[string][]string{
+		"KR (Kronecker)": {"bfs_kr", "sssp_kr"},
+		"UR (uniform)":   {"bfs_ur", "sssp_ur"},
+	}
+	for _, input := range []string{"KR (Kronecker)", "UR (uniform)"} {
+		for _, name := range kernels[input] {
+			w, err := workloads.ByName(name)
+			if err != nil {
+				return nil, err
+			}
+			r, err := opt.run(w, DefaultRunConfig(TechOoO))
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(input, name, d(1<<workloads.DefaultGraphScale), "~"+d(uint64(1<<workloads.DefaultGraphScale)*8), f(r.LLCMPKI))
+		}
+	}
+	t.Notes = append(t.Notes, "paper inputs are 2111M/2147M-edge graphs; these are LLC-exceeding downscales")
+	return t, nil
+}
+
+// PerfRow is one benchmark's normalized performance across techniques.
+type PerfRow struct {
+	Workload string
+	Speedup  map[Technique]float64
+}
+
+// ExpF7Performance reproduces the main results figure: every benchmark
+// under OoO / PRE / IMP / VR / Oracle, normalized to the OoO baseline.
+func ExpF7Performance(opt Options) (*Table, []PerfRow, error) {
+	ws, err := opt.loadWorkloads(nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	t := &Table{ID: "F7", Title: "Normalized performance (speedup over OoO baseline)",
+		Header: []string{"workload", "ooo", "pre", "imp", "vr", "oracle"}}
+	rows := make([]PerfRow, 0, len(ws))
+	sums := map[Technique][]float64{}
+	for _, w := range ws {
+		base, err := opt.run(w, DefaultRunConfig(TechOoO))
+		if err != nil {
+			return nil, nil, err
+		}
+		row := PerfRow{Workload: w.Name, Speedup: map[Technique]float64{TechOoO: 1.0}}
+		for _, tech := range []Technique{TechPRE, TechIMP, TechVR, TechOracle} {
+			r, err := opt.run(w, DefaultRunConfig(tech))
+			if err != nil {
+				return nil, nil, err
+			}
+			row.Speedup[tech] = Speedup(base, r)
+		}
+		for tech, s := range row.Speedup {
+			sums[tech] = append(sums[tech], s)
+		}
+		rows = append(rows, row)
+		t.AddRow(w.Name, "1.00", f(row.Speedup[TechPRE]), f(row.Speedup[TechIMP]),
+			f(row.Speedup[TechVR]), f(row.Speedup[TechOracle]))
+	}
+	t.AddRow("h-mean", "1.00", f(HarmonicMean(sums[TechPRE])), f(HarmonicMean(sums[TechIMP])),
+		f(HarmonicMean(sums[TechVR])), f(HarmonicMean(sums[TechOracle])))
+	return t, rows, nil
+}
+
+// ExpF2ROBSweep reproduces the motivation figure: OoO and VR performance,
+// and full-ROB stall time, as the ROB scales from 128 to 512 entries; all
+// normalized to the 350-entry OoO baseline.
+func ExpF2ROBSweep(opt Options) (*Table, error) {
+	sizes := opt.ROBSizes
+	if sizes == nil {
+		sizes = []int{128, 192, 224, 350, 512}
+	}
+	ws, err := opt.loadWorkloads(sweepSet)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{ID: "F2", Title: "Performance and full-ROB stall time vs. ROB size (normalized to OoO@350)",
+		Header: []string{"ROB", "ooo perf", "vr perf", "vr gain", "window-stall (ooo)"}}
+
+	// Baseline at 350 per workload.
+	bases := make([]Result, len(ws))
+	for i, w := range ws {
+		rc := DefaultRunConfig(TechOoO)
+		rc.CPU = rc.CPU.WithROB(350)
+		b, err := opt.run(w, rc)
+		if err != nil {
+			return nil, err
+		}
+		bases[i] = b
+	}
+	for _, size := range sizes {
+		var oooS, vrS, stall []float64
+		for i, w := range ws {
+			rcO := DefaultRunConfig(TechOoO)
+			rcO.CPU = rcO.CPU.WithROB(size)
+			ro, err := opt.run(w, rcO)
+			if err != nil {
+				return nil, err
+			}
+			rcV := DefaultRunConfig(TechVR)
+			rcV.CPU = rcV.CPU.WithROB(size)
+			rv, err := opt.run(w, rcV)
+			if err != nil {
+				return nil, err
+			}
+			oooS = append(oooS, Speedup(bases[i], ro))
+			vrS = append(vrS, Speedup(bases[i], rv))
+			stall = append(stall, ro.ResourceStallFrac)
+		}
+		o, v := HarmonicMean(oooS), HarmonicMean(vrS)
+		t.AddRow(d(uint64(size)), f(o), f(v), f(v/o), pct(mean(stall)))
+	}
+	return t, nil
+}
+
+// ExpF8Ablation breaks VR's gain into its mechanisms: PRE (scalar runahead),
+// VR with a single lane (chain-following without vector MLP), VR without
+// delayed termination, and full VR.
+func ExpF8Ablation(opt Options) (*Table, error) {
+	ws, err := opt.loadWorkloads(sweepSet)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{ID: "F8", Title: "VR mechanism breakdown (speedup over OoO baseline)",
+		Header: []string{"workload", "pre", "vr vl=1", "vr no-delay", "vr full"}}
+	var sums [4][]float64
+	for _, w := range ws {
+		base, err := opt.run(w, DefaultRunConfig(TechOoO))
+		if err != nil {
+			return nil, err
+		}
+		configs := make([]RunConfig, 4)
+		configs[0] = DefaultRunConfig(TechPRE)
+		configs[1] = DefaultRunConfig(TechVR)
+		configs[1].VR.VectorLength = 1
+		configs[2] = DefaultRunConfig(TechVR)
+		configs[2].VR.DelayedTermination = false
+		configs[3] = DefaultRunConfig(TechVR)
+		cells := []string{w.Name}
+		for i, rc := range configs {
+			r, err := opt.run(w, rc)
+			if err != nil {
+				return nil, err
+			}
+			s := Speedup(base, r)
+			sums[i] = append(sums[i], s)
+			cells = append(cells, f(s))
+		}
+		t.AddRow(cells...)
+	}
+	t.AddRow("h-mean", f(HarmonicMean(sums[0])), f(HarmonicMean(sums[1])),
+		f(HarmonicMean(sums[2])), f(HarmonicMean(sums[3])))
+	return t, nil
+}
+
+// ExpF9MLP reproduces the memory-level-parallelism figure: average
+// outstanding L1-D misses per cycle for the baseline and VR.
+func ExpF9MLP(opt Options) (*Table, error) {
+	ws, err := opt.loadWorkloads(nil)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{ID: "F9", Title: "Memory-level parallelism (avg MSHRs in use per cycle)",
+		Header: []string{"workload", "ooo", "vr", "ratio"}}
+	for _, w := range ws {
+		ro, err := opt.run(w, DefaultRunConfig(TechOoO))
+		if err != nil {
+			return nil, err
+		}
+		rv, err := opt.run(w, DefaultRunConfig(TechVR))
+		if err != nil {
+			return nil, err
+		}
+		ratio := 0.0
+		if ro.MLP > 0 {
+			ratio = rv.MLP / ro.MLP
+		}
+		t.AddRow(w.Name, f(ro.MLP), f(rv.MLP), f(ratio))
+	}
+	return t, nil
+}
+
+// ExpF10AccuracyCoverage reproduces the accuracy/coverage figure: total
+// off-chip traffic split by requester, VR's overfetch relative to the
+// baseline, and the fraction of baseline demand fetches VR eliminated.
+func ExpF10AccuracyCoverage(opt Options) (*Table, error) {
+	ws, err := opt.loadWorkloads(nil)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{ID: "F10", Title: "Off-chip traffic and coverage (VR vs. baseline)",
+		Header: []string{"workload", "ooo demand", "vr demand", "vr runahead", "traffic ratio", "coverage"}}
+	for _, w := range ws {
+		ro, err := opt.run(w, DefaultRunConfig(TechOoO))
+		if err != nil {
+			return nil, err
+		}
+		rv, err := opt.run(w, DefaultRunConfig(TechVR))
+		if err != nil {
+			return nil, err
+		}
+		ratio, cover := 0.0, 0.0
+		if ro.OffChipTotal > 0 {
+			// Normalize per committed instruction: the two runs cover
+			// different amounts of work per unit time.
+			ratio = (float64(rv.OffChipTotal) / float64(rv.Instrs)) /
+				(float64(ro.OffChipTotal) / float64(ro.Instrs))
+		}
+		if ro.OffChipDemand > 0 {
+			cover = 1 - (float64(rv.OffChipDemand)/float64(rv.Instrs))/
+				(float64(ro.OffChipDemand)/float64(ro.Instrs))
+		}
+		t.AddRow(w.Name, d(ro.OffChipDemand), d(rv.OffChipDemand), d(rv.OffChipRunahead), f(ratio), pct(cover))
+	}
+	t.Notes = append(t.Notes, "traffic ratio >1 = overfetch; coverage = demand misses eliminated")
+	return t, nil
+}
+
+// ExpF11Timeliness reproduces the timeliness figure: where the main thread
+// found VR-prefetched lines on first use.
+func ExpF11Timeliness(opt Options) (*Table, error) {
+	ws, err := opt.loadWorkloads(nil)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{ID: "F11", Title: "Timeliness: first-use location of VR-prefetched lines",
+		Header: []string{"workload", "L1", "L2", "L3", "in-flight (late)"}}
+	for _, w := range ws {
+		rv, err := opt.run(w, DefaultRunConfig(TechVR))
+		if err != nil {
+			return nil, err
+		}
+		total := float64(rv.TimelinessL1 + rv.TimelinessL2 + rv.TimelinessL3 + rv.TimelinessInFlight)
+		if total == 0 {
+			t.AddRow(w.Name, "-", "-", "-", "-")
+			continue
+		}
+		t.AddRow(w.Name,
+			pct(float64(rv.TimelinessL1)/total),
+			pct(float64(rv.TimelinessL2)/total),
+			pct(float64(rv.TimelinessL3)/total),
+			pct(float64(rv.TimelinessInFlight)/total))
+	}
+	return t, nil
+}
+
+// ExpF12VectorLength sweeps the vectorization degree.
+func ExpF12VectorLength(opt Options) (*Table, error) {
+	vls := opt.VectorLengths
+	if vls == nil {
+		vls = []int{8, 16, 32, 64, 128}
+	}
+	ws, err := opt.loadWorkloads(sweepSet)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{ID: "F12", Title: "Sensitivity to vector length (h-mean speedup over OoO)",
+		Header: []string{"lanes", "speedup", "MLP"}}
+	bases := make([]Result, len(ws))
+	for i, w := range ws {
+		b, err := opt.run(w, DefaultRunConfig(TechOoO))
+		if err != nil {
+			return nil, err
+		}
+		bases[i] = b
+	}
+	for _, vl := range vls {
+		var ss, mlps []float64
+		for i, w := range ws {
+			rc := DefaultRunConfig(TechVR)
+			rc.VR.VectorLength = vl
+			r, err := opt.run(w, rc)
+			if err != nil {
+				return nil, err
+			}
+			ss = append(ss, Speedup(bases[i], r))
+			mlps = append(mlps, r.MLP)
+		}
+		t.AddRow(d(uint64(vl)), f(HarmonicMean(ss)), f(mean(mlps)))
+	}
+	return t, nil
+}
+
+// ExpF13DelayedTermination measures the commit-stall cost of delayed
+// termination (the paper reports 7.1% average, up to 11.8%, for VR).
+func ExpF13DelayedTermination(opt Options) (*Table, error) {
+	ws, err := opt.loadWorkloads(nil)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{ID: "F13", Title: "Delayed termination: commit-hold time and its value",
+		Header: []string{"workload", "held cycles", "speedup w/", "speedup w/o"}}
+	for _, w := range ws {
+		base, err := opt.run(w, DefaultRunConfig(TechOoO))
+		if err != nil {
+			return nil, err
+		}
+		on, err := opt.run(w, DefaultRunConfig(TechVR))
+		if err != nil {
+			return nil, err
+		}
+		rc := DefaultRunConfig(TechVR)
+		rc.VR.DelayedTermination = false
+		off, err := opt.run(w, rc)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(w.Name, pct(on.HeldFrac), f(Speedup(base, on)), f(Speedup(base, off)))
+	}
+	return t, nil
+}
+
+// ExpT3Hardware itemizes VR's storage overhead.
+func ExpT3Hardware() *Table {
+	vr := core.NewVR(core.DefaultVRConfig())
+	t := &Table{ID: "T3", Title: "Vector Runahead hardware overhead",
+		Header: []string{"structure", "bytes", "detail"}}
+	for _, it := range vr.HardwareCost() {
+		t.AddRow(it.Name, d(uint64(it.Bytes)), it.Note)
+	}
+	t.AddRow("total", d(uint64(vr.TotalHardwareBytes())), "")
+	return t
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

@@ -1,0 +1,149 @@
+package harness
+
+import (
+	"math/rand"
+	"testing"
+
+	"vrsim/internal/core"
+	"vrsim/internal/cpu"
+	"vrsim/internal/isa"
+	"vrsim/internal/mem"
+	"vrsim/internal/prefetch"
+)
+
+// randomKernel generates a structured random program: a counted loop of
+// random ALU dataflow, bounded loads from an initialized region,
+// data-dependent branches, and stores — the shapes that have historically
+// broken speculative pipelines.
+func randomKernel(rng *rand.Rand) (*isa.Program, map[uint64]uint64, []uint64) {
+	baseA := uint64(0x100000)
+	baseB := uint64(0x900000)
+	init := map[uint64]uint64{}
+	for i := 0; i < 512; i++ {
+		init[baseA+uint64(i)*8] = rng.Uint64() % 4096
+	}
+	b := isa.NewBuilder("fuzz")
+	b.Li(1, int64(baseA))
+	b.Li(2, int64(baseB))
+	b.Li(3, 0)  // i
+	b.Li(4, 80) // iterations
+	for r := isa.Reg(5); r < 13; r++ {
+		b.Li(r, int64(rng.Intn(1000)))
+	}
+	b.Label("loop")
+	nOps := 8 + rng.Intn(10)
+	for k := 0; k < nOps; k++ {
+		dst := isa.Reg(5 + rng.Intn(8))
+		s1 := isa.Reg(5 + rng.Intn(8))
+		s2 := isa.Reg(5 + rng.Intn(8))
+		switch rng.Intn(10) {
+		case 0:
+			b.Add(dst, s1, s2)
+		case 1:
+			b.Sub(dst, s1, s2)
+		case 2:
+			b.Mul(dst, s1, s2)
+		case 3:
+			b.Xor(dst, s1, s2)
+		case 4:
+			b.AndI(13, s1, 511)
+			b.Ld(dst, 1, 13, 3, 0) // bounded load from A
+		case 5:
+			b.St(s1, 2, 3, 3, 0) // store to B[i]
+		case 6:
+			// Data-dependent forward skip.
+			lbl := labelName(k)
+			b.AndI(13, s1, 1)
+			b.Beq(13, 0, lbl)
+			b.AddI(dst, dst, 3)
+			b.Label(lbl)
+		case 7:
+			b.Min(dst, s1, s2)
+		case 8:
+			b.ShrI(dst, s1, int64(rng.Intn(8)))
+		case 9:
+			b.Div(dst, s1, s2)
+		}
+	}
+	b.AddI(3, 3, 1)
+	b.Blt(3, 4, "loop")
+	b.Halt()
+	watch := make([]uint64, 80)
+	for i := range watch {
+		watch[i] = baseB + uint64(i)*8
+	}
+	return b.MustBuild(), init, watch
+}
+
+var labelCounter int
+
+func labelName(k int) string {
+	labelCounter++
+	return "skip" + string(rune('a'+k%26)) + string(rune('0'+labelCounter%10)) +
+		string(rune('a'+labelCounter/10%26))
+}
+
+// runEngineFuzz executes the program on the interpreter and on the timing
+// model with the given engine, and compares architectural state.
+func runEngineFuzz(t *testing.T, p *isa.Program, init map[uint64]uint64, watch []uint64,
+	attach func(c *cpu.Core)) {
+	t.Helper()
+	dI := mem.NewBacking()
+	for a, v := range init {
+		dI.Store(a, v)
+	}
+	it := isa.NewInterp(p, dI)
+	if err := it.Run(10_000_000); err != nil {
+		t.Fatal(err)
+	}
+
+	dC := mem.NewBacking()
+	for a, v := range init {
+		dC.Store(a, v)
+	}
+	h := mem.NewHierarchy(mem.DefaultConfig())
+	h.Data = dC
+	h.SetPrefetcher(prefetch.NewStreamPrefetcher(16, 4))
+	c := cpu.New(cpu.DefaultConfig(), p, dC, h)
+	if attach != nil {
+		attach(c)
+	}
+	if err := c.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	regs := c.ArchRegs()
+	for r := 0; r < isa.NumRegs; r++ {
+		if regs[r] != it.Regs[r] {
+			t.Fatalf("r%d: core=%d interp=%d", r, regs[r], it.Regs[r])
+		}
+	}
+	for _, a := range watch {
+		if g, w := dC.Load(a), dI.Load(a); g != w {
+			t.Fatalf("mem[%#x]: core=%d interp=%d", a, g, w)
+		}
+	}
+}
+
+// TestFuzzEnginesMatchInterpreter: 20 random kernels, each run under no
+// engine, PRE, classic RA, and VR — every configuration must match the
+// functional interpreter bit-for-bit.
+func TestFuzzEnginesMatchInterpreter(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < 20; trial++ {
+		p, init, watch := randomKernel(rng)
+		runEngineFuzz(t, p, init, watch, nil)
+		runEngineFuzz(t, p, init, watch, func(c *cpu.Core) {
+			c.AttachEngine(core.NewPRE(core.DefaultPREConfig()))
+		})
+		runEngineFuzz(t, p, init, watch, func(c *cpu.Core) {
+			c.AttachEngine(core.NewClassicRA(core.DefaultRAConfig()))
+		})
+		runEngineFuzz(t, p, init, watch, func(c *cpu.Core) {
+			cfg := core.DefaultVRConfig()
+			cfg.MinInterval = 0 // trigger as often as possible
+			cfg.LoopBoundAware = trial%2 == 0
+			vr := core.NewVR(cfg)
+			vr.Bind(c)
+		})
+	}
+}

@@ -1,0 +1,273 @@
+// Package harness assembles complete simulations — a workload, a core
+// configuration, a memory hierarchy and one of the evaluated techniques —
+// runs them, and collects the metrics the paper's figures report. The
+// experiment drivers for each table and figure live in experiments.go and
+// are shared by cmd/vrbench and the repository's benchmark suite.
+package harness
+
+import (
+	"fmt"
+	"math"
+
+	"vrsim/internal/core"
+	"vrsim/internal/cpu"
+	"vrsim/internal/mem"
+	"vrsim/internal/prefetch"
+	"vrsim/internal/workloads"
+)
+
+// Technique names one of the evaluated configurations.
+type Technique string
+
+// The evaluated techniques, as in the paper's main results figure.
+const (
+	// TechOoO is the baseline out-of-order core; the L1-D stride
+	// prefetcher is always on (here and in every other technique).
+	TechOoO Technique = "ooo"
+	// TechPRE adds Precise Runahead Execution.
+	TechPRE Technique = "pre"
+	// TechIMP adds the Indirect Memory Prefetcher at the L1-D.
+	TechIMP Technique = "imp"
+	// TechVR adds Vector Runahead.
+	TechVR Technique = "vr"
+	// TechOracle makes every access an L1 hit: the upper bound.
+	TechOracle Technique = "oracle"
+	// TechRA adds classic flush-based runahead (Mutlu et al., HPCA'03) —
+	// a lineage baseline beyond the paper's evaluated set.
+	TechRA Technique = "ra"
+)
+
+// AllTechniques returns the evaluation order.
+func AllTechniques() []Technique {
+	return []Technique{TechOoO, TechPRE, TechIMP, TechVR, TechOracle}
+}
+
+// RunConfig parameterizes one simulation.
+type RunConfig struct {
+	Tech Technique
+	CPU  cpu.Config
+	Mem  mem.Config
+	VR   core.VRConfig
+	PRE  core.PREConfig
+	RA   core.RAConfig
+	// Budget is the instruction budget (the "ROI length"); 0 uses the
+	// workload's suggestion, capped by MaxBudget.
+	Budget uint64
+	// MaxBudget caps the effective budget (0 = no cap).
+	MaxBudget uint64
+	// StridePrefetcher controls the always-on L1-D stream prefetcher; the
+	// paper keeps it enabled everywhere, so it defaults on.
+	DisableStridePrefetcher bool
+}
+
+// DefaultRunConfig returns the Table 1 baseline with the given technique.
+func DefaultRunConfig(tech Technique) RunConfig {
+	return RunConfig{
+		Tech:      tech,
+		CPU:       cpu.DefaultConfig(),
+		Mem:       mem.DefaultConfig(),
+		VR:        core.DefaultVRConfig(),
+		PRE:       core.DefaultPREConfig(),
+		RA:        core.DefaultRAConfig(),
+		MaxBudget: 1_000_000,
+	}
+}
+
+// Result carries the metrics of one run.
+type Result struct {
+	Workload string
+	Tech     Technique
+
+	Cycles uint64
+	Instrs uint64
+	IPC    float64
+
+	MLP            float64 // avg outstanding L1-D misses per cycle
+	L1MissRate     float64
+	LLCMPKI        float64
+	MispredictRate float64
+
+	// Stall composition, as fractions of total cycles.
+	ROBFullFrac       float64 // cycles the ROB was full
+	ResourceStallFrac float64 // dispatch blocked by a full ROB/IQ/LQ/SQ
+	StallLoadFrac     float64 // commit blocked on a load
+	HeldFrac          float64 // commit held by delayed termination
+
+	// Off-chip traffic (DRAM line fetches) by requester.
+	OffChipDemand   uint64
+	OffChipRunahead uint64
+	OffChipPrefetch uint64
+	OffChipTotal    uint64
+
+	// Prefetch effectiveness for the runahead source.
+	RunaheadUseful     uint64
+	RunaheadIssued     uint64 // runahead accesses that went past the L1
+	TimelinessL1       uint64 // first-use hits on runahead lines per level
+	TimelinessL2       uint64
+	TimelinessL3       uint64
+	TimelinessInFlight uint64
+
+	// Engine counters (zero when the technique has no engine).
+	VRStats  core.VRStats
+	PREStats core.PREStats
+	RAStats  core.RAStats
+}
+
+// Run executes one workload under one configuration.
+func Run(w *workloads.Workload, rc RunConfig) (Result, error) {
+	data := w.Fresh()
+	hier := mem.NewHierarchy(rc.Mem)
+	hier.Data = data
+	if rc.Tech == TechOracle {
+		hier.PerfectL1 = true
+	}
+
+	// Prefetchers: stride always on (unless ablated); IMP adds indirection.
+	var parts []mem.Prefetcher
+	if !rc.DisableStridePrefetcher {
+		parts = append(parts, prefetch.NewStreamPrefetcher(16, 4))
+	}
+	if rc.Tech == TechIMP {
+		parts = append(parts, prefetch.NewIMP())
+	}
+	switch len(parts) {
+	case 1:
+		hier.SetPrefetcher(parts[0])
+	default:
+		if len(parts) > 1 {
+			hier.SetPrefetcher(&prefetch.Combined{Parts: parts})
+		}
+	}
+
+	c := cpu.New(rc.CPU, w.Prog, data, hier)
+
+	var vr *core.VR
+	var pre *core.PRE
+	var ra *core.ClassicRA
+	switch rc.Tech {
+	case TechVR:
+		vr = core.NewVR(rc.VR)
+		vr.Bind(c)
+	case TechPRE:
+		pre = core.NewPRE(rc.PRE)
+		c.AttachEngine(pre)
+	case TechRA:
+		ra = core.NewClassicRA(rc.RA)
+		c.AttachEngine(ra)
+	}
+
+	budget := rc.Budget
+	if budget == 0 {
+		budget = w.SuggestedBudget
+	}
+	if rc.MaxBudget != 0 && budget > rc.MaxBudget {
+		budget = rc.MaxBudget
+	}
+	// Region of interest: run the initialization phase, then reset every
+	// statistic (keeping caches, predictors and in-flight state warm).
+	if w.SkipInstrs > 0 {
+		if err := c.Run(w.SkipInstrs); err != nil {
+			return Result{}, fmt.Errorf("%s/%s (init): %w", w.Name, rc.Tech, err)
+		}
+		c.ResetStats()
+		hier.ResetStats()
+	}
+	if err := c.Run(budget); err != nil {
+		return Result{}, fmt.Errorf("%s/%s: %w", w.Name, rc.Tech, err)
+	}
+
+	st := &c.Stats
+	hs := &hier.Stats
+	res := Result{
+		Workload: w.Name,
+		Tech:     rc.Tech,
+		Cycles:   st.Cycles,
+		Instrs:   st.Committed,
+		IPC:      st.IPC(),
+
+		MLP:            hier.MSHR.AvgOccupancy(st.Cycles),
+		MispredictRate: st.MispredictRate(),
+
+		OffChipDemand:   hs.OffChipBySource[mem.SrcDemand],
+		OffChipRunahead: hs.OffChipBySource[mem.SrcRunahead],
+		OffChipPrefetch: hs.OffChipBySource[mem.SrcStride] + hs.OffChipBySource[mem.SrcIMP],
+		OffChipTotal:    hier.DRAM.Accesses,
+
+		RunaheadUseful:     hs.PrefetchUseful[mem.SrcRunahead],
+		TimelinessL1:       hs.TimelinessHits[mem.SrcRunahead][mem.AtL1],
+		TimelinessL2:       hs.TimelinessHits[mem.SrcRunahead][mem.AtL2],
+		TimelinessL3:       hs.TimelinessHits[mem.SrcRunahead][mem.AtL3],
+		TimelinessInFlight: hs.PrefetchLate,
+	}
+	d := hier.Derive(st.Committed, st.Cycles)
+	res.L1MissRate = d.L1MissRate
+	res.LLCMPKI = d.LLCMPKI
+	if st.Cycles > 0 {
+		res.ROBFullFrac = float64(st.ROBFullCycles) / float64(st.Cycles)
+		res.ResourceStallFrac = float64(st.ResourceStallCycles) / float64(st.Cycles)
+		res.StallLoadFrac = float64(st.CommitStall[cpu.StallLoad]) / float64(st.Cycles)
+		res.HeldFrac = float64(st.CommitStall[cpu.StallHeld]) / float64(st.Cycles)
+	}
+	if vr != nil {
+		res.VRStats = vr.Stats
+		var issued uint64
+		for lvl := mem.AtL2; lvl <= mem.AtMem; lvl++ {
+			issued += hs.RunaheadAccesses[lvl]
+		}
+		res.RunaheadIssued = issued
+	}
+	if pre != nil {
+		res.PREStats = pre.Stats
+	}
+	if ra != nil {
+		res.RAStats = ra.Stats
+	}
+	return res, nil
+}
+
+// Speedup returns r's performance normalized to base, comparing by
+// cycles-per-instruction over each run's own committed instructions (runs
+// may commit slightly different counts when budget-limited).
+func Speedup(base, r Result) float64 {
+	if r.Cycles == 0 || base.Instrs == 0 {
+		return 0
+	}
+	baseCPI := float64(base.Cycles) / float64(base.Instrs)
+	cpi := float64(r.Cycles) / float64(r.Instrs)
+	return baseCPI / cpi
+}
+
+// HarmonicMean returns the harmonic mean of xs (the paper's mean for
+// speedups). Zero or negative entries are ignored.
+func HarmonicMean(xs []float64) float64 {
+	var inv float64
+	n := 0
+	for _, x := range xs {
+		if x > 0 {
+			inv += 1 / x
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(n) / inv
+}
+
+// GeoMean returns the geometric mean of positive entries.
+func GeoMean(xs []float64) float64 {
+	prod := 1.0
+	n := 0
+	for _, x := range xs {
+		if x > 0 {
+			prod *= x
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return pow(prod, 1/float64(n))
+}
+
+func pow(x, p float64) float64 { return math.Pow(x, p) }

@@ -1,0 +1,276 @@
+package harness
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"vrsim/internal/workloads"
+)
+
+// fastOpt keeps experiment tests quick: small budgets, cheap workloads
+// (hpc-db kernels construct instantly; graph workloads synthesize
+// multi-million-edge inputs and are exercised by the benchmark suite).
+func fastOpt() Options {
+	return Options{MaxBudget: 60_000, Workloads: []string{"camel", "kangaroo"}}
+}
+
+func TestRunAllTechniquesOnCamel(t *testing.T) {
+	w, err := workloads.ByName("camel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base Result
+	for _, tech := range AllTechniques() {
+		rc := DefaultRunConfig(tech)
+		rc.MaxBudget = 100_000
+		r, err := Run(w, rc)
+		if err != nil {
+			t.Fatalf("%s: %v", tech, err)
+		}
+		if r.Instrs == 0 || r.Cycles == 0 {
+			t.Fatalf("%s: empty run", tech)
+		}
+		if tech == TechOoO {
+			base = r
+		}
+	}
+	// Oracle must dominate everything.
+	rc := DefaultRunConfig(TechOracle)
+	rc.MaxBudget = 100_000
+	oracle, err := Run(w, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := Speedup(base, oracle); s < 1.5 {
+		t.Errorf("oracle speedup = %.2f, implausibly low", s)
+	}
+}
+
+func TestVRBeatsBaselineOnCamel(t *testing.T) {
+	w, err := workloads.ByName("camel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcB := DefaultRunConfig(TechOoO)
+	rcB.MaxBudget = 200_000
+	base, err := Run(w, rcB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcV := DefaultRunConfig(TechVR)
+	rcV.MaxBudget = 200_000
+	vr, err := Run(w, rcV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := Speedup(base, vr); s < 1.05 {
+		t.Errorf("VR speedup on camel = %.2f", s)
+	}
+	if vr.VRStats.Activations == 0 || vr.VRStats.GatherLoads == 0 {
+		t.Error("VR engine idle during camel run")
+	}
+	if vr.MLP <= base.MLP {
+		t.Errorf("VR MLP %.2f <= baseline %.2f", vr.MLP, base.MLP)
+	}
+}
+
+func TestOracleHasNoOffChipTraffic(t *testing.T) {
+	w, err := workloads.ByName("nas-is")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := DefaultRunConfig(TechOracle)
+	rc.MaxBudget = 50_000
+	r, err := Run(w, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.OffChipTotal != 0 {
+		t.Errorf("oracle off-chip accesses = %d", r.OffChipTotal)
+	}
+	if r.LLCMPKI != 0 {
+		t.Errorf("oracle MPKI = %f", r.LLCMPKI)
+	}
+}
+
+func TestSpeedupAndMeans(t *testing.T) {
+	base := Result{Cycles: 1000, Instrs: 100}
+	half := Result{Cycles: 500, Instrs: 100}
+	if s := Speedup(base, half); s != 2.0 {
+		t.Errorf("speedup = %f", s)
+	}
+	// CPI comparison must be budget-robust: same CPI, different counts.
+	other := Result{Cycles: 2000, Instrs: 200}
+	if s := Speedup(base, other); s != 1.0 {
+		t.Errorf("cpi-normalized speedup = %f", s)
+	}
+	if h := HarmonicMean([]float64{1, 2}); math.Abs(h-4.0/3) > 1e-9 {
+		t.Errorf("hmean = %f", h)
+	}
+	if h := HarmonicMean(nil); h != 0 {
+		t.Errorf("hmean(nil) = %f", h)
+	}
+	if g := GeoMean([]float64{2, 8}); math.Abs(g-4) > 1e-9 {
+		t.Errorf("geomean = %f", g)
+	}
+	if g := GeoMean([]float64{0, -1}); g != 0 {
+		t.Errorf("geomean of non-positives = %f", g)
+	}
+}
+
+func TestROIRespectsSkip(t *testing.T) {
+	// A workload with SkipInstrs must report only post-skip instructions.
+	w, err := workloads.ByName("camel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.SkipInstrs = 30_000
+	rc := DefaultRunConfig(TechOoO)
+	rc.MaxBudget = 20_000
+	r, err := Run(w, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Instrs > 25_000 {
+		t.Errorf("ROI run reported %d instructions; skip ignored?", r.Instrs)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{ID: "X", Title: "demo", Header: []string{"a", "b"}}
+	tb.AddRow("1", "2")
+	tb.Notes = append(tb.Notes, "a note")
+	out := tb.String()
+	for _, want := range []string{"== X: demo ==", "a", "1", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in rendering:\n%s", want, out)
+		}
+	}
+}
+
+func TestExpT1AndT3AreStatic(t *testing.T) {
+	t1 := ExpT1Config()
+	if len(t1.Rows) < 8 || !strings.Contains(t1.String(), "350") {
+		t.Error("T1 table incomplete")
+	}
+	t3 := ExpT3Hardware()
+	if !strings.Contains(t3.String(), "stride detector") || !strings.Contains(t3.String(), "460") {
+		t.Error("T3 table incomplete")
+	}
+}
+
+func TestExpF7OnSubset(t *testing.T) {
+	tab, rows, err := ExpF7Performance(fastOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		for _, tech := range AllTechniques() {
+			if r.Speedup[tech] <= 0 {
+				t.Errorf("%s/%s: speedup %.2f", r.Workload, tech, r.Speedup[tech])
+			}
+		}
+		if r.Speedup[TechOracle] < r.Speedup[TechOoO] {
+			t.Errorf("%s: oracle below baseline", r.Workload)
+		}
+	}
+	if !strings.Contains(tab.String(), "h-mean") {
+		t.Error("missing h-mean row")
+	}
+}
+
+func TestExpF9OnSubset(t *testing.T) {
+	tab, err := ExpF9MLP(fastOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}
+
+func TestExpF12Sweep(t *testing.T) {
+	opt := fastOpt()
+	opt.Workloads = []string{"camel"}
+	opt.VectorLengths = []int{8, 64}
+	tab, err := ExpF12VectorLength(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}
+
+func TestExpF2SweepSmall(t *testing.T) {
+	opt := fastOpt()
+	opt.Workloads = []string{"camel"}
+	opt.ROBSizes = []int{128, 350}
+	tab, err := ExpF2ROBSweep(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}
+
+func TestProgressCallback(t *testing.T) {
+	opt := fastOpt()
+	opt.Workloads = []string{"camel"}
+	var msgs []string
+	opt.Progress = func(m string) { msgs = append(msgs, m) }
+	if _, err := ExpF9MLP(opt); err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) == 0 {
+		t.Error("no progress messages")
+	}
+}
+
+func TestUnknownWorkloadErrors(t *testing.T) {
+	opt := Options{Workloads: []string{"bogus"}}
+	if _, err := ExpF9MLP(opt); err == nil {
+		t.Fatal("expected error for unknown workload")
+	}
+}
+
+func TestAblationDriversSmoke(t *testing.T) {
+	opt := Options{MaxBudget: 40_000, Workloads: []string{"camel"}}
+	if tab, err := ExpA3Predictors(opt); err != nil || len(tab.Rows) != 3 {
+		t.Fatalf("A3: %v rows=%v", err, tab)
+	}
+	if tab, err := ExpA4StridePrefetcher(opt); err != nil || len(tab.Rows) != 2 {
+		t.Fatalf("A4: %v", err)
+	}
+	if tab, err := ExpA7RunaheadLineage(opt); err != nil || len(tab.Rows) != 2 {
+		t.Fatalf("A7: %v", err)
+	}
+	opt.ROBSizes = []int{128}
+	if tab, err := ExpA5CoreScaling(opt); err != nil || len(tab.Rows) != 1 {
+		t.Fatalf("A5: %v", err)
+	}
+}
+
+func TestRATechniqueRuns(t *testing.T) {
+	w, err := workloads.ByName("camel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := DefaultRunConfig(TechRA)
+	rc.MaxBudget = 150_000
+	r, err := Run(w, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.RAStats.Activations == 0 {
+		t.Error("classic RA never activated via the harness")
+	}
+	if r.HeldFrac == 0 {
+		t.Error("no flush-hold time recorded")
+	}
+}

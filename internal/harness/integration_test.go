@@ -1,0 +1,133 @@
+package harness
+
+import (
+	"testing"
+
+	"vrsim/internal/core"
+	"vrsim/internal/cpu"
+	"vrsim/internal/mem"
+	"vrsim/internal/prefetch"
+	"vrsim/internal/workloads"
+)
+
+// smallWorkloads builds reduced-scale instances of every benchmark — small
+// enough to run to completion on the timing model, large enough to exercise
+// the kernels' full control flow.
+func smallWorkloads() []*workloads.Workload {
+	var ws []*workloads.Workload
+	for _, gk := range []struct {
+		tag  string
+		kind workloads.GraphKind
+	}{{"kr", workloads.GraphKron}, {"ur", workloads.GraphUniform}} {
+		ws = append(ws,
+			workloads.BC(9, gk.kind, gk.tag),
+			workloads.BFS(9, gk.kind, gk.tag),
+			workloads.CC(8, gk.kind, gk.tag),
+			workloads.PR(9, gk.kind, gk.tag),
+			workloads.SSSP(8, gk.kind, gk.tag),
+		)
+	}
+	ws = append(ws,
+		workloads.Camel(12, 1500),
+		workloads.Graph500(9),
+		workloads.HashJoin(2, 12, 1500),
+		workloads.HashJoin(8, 12, 1500),
+		workloads.Kangaroo(12, 1500),
+		workloads.NASCG(1<<9, 8),
+		workloads.NASIS(12, 1500),
+		workloads.RandomAccess(12, 1500),
+	)
+	return ws
+}
+
+// runToCompletion executes a workload on the timing model with the given
+// engine wiring and validates the final memory image and registers.
+func runToCompletion(t *testing.T, w *workloads.Workload, attach func(c *cpu.Core)) *cpu.Core {
+	t.Helper()
+	data := w.Fresh()
+	h := mem.NewHierarchy(mem.DefaultConfig())
+	h.Data = data
+	h.SetPrefetcher(prefetch.NewStreamPrefetcher(16, 4))
+	c := cpu.New(cpu.DefaultConfig(), w.Prog, data, h)
+	if attach != nil {
+		attach(c)
+	}
+	if err := c.Run(0); err != nil {
+		t.Fatalf("%s: %v", w.Name, err)
+	}
+	if !c.Halted() {
+		t.Fatalf("%s: did not halt", w.Name)
+	}
+	if err := w.Validate(data, c.ArchRegs()); err != nil {
+		t.Fatalf("%s: %v", w.Name, err)
+	}
+	return c
+}
+
+// TestAllWorkloadsCorrectOnCore is the end-to-end architectural
+// correctness check: every benchmark, run to completion on the out-of-order
+// timing model, must produce exactly the memory image the native Go
+// reference computes.
+func TestAllWorkloadsCorrectOnCore(t *testing.T) {
+	for _, w := range smallWorkloads() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			runToCompletion(t, w, nil)
+		})
+	}
+}
+
+// TestAllWorkloadsCorrectUnderVR repeats the check with Vector Runahead
+// active: transient pre-execution and its prefetches must never change
+// architectural results.
+func TestAllWorkloadsCorrectUnderVR(t *testing.T) {
+	for _, w := range smallWorkloads() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			vr := core.NewVR(core.DefaultVRConfig())
+			c := runToCompletion(t, w, func(c *cpu.Core) { vr.Bind(c) })
+			_ = c
+		})
+	}
+}
+
+// TestAllWorkloadsCorrectUnderPRE repeats the check with PRE active.
+func TestAllWorkloadsCorrectUnderPRE(t *testing.T) {
+	for _, w := range smallWorkloads() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			pre := core.NewPRE(core.DefaultPREConfig())
+			runToCompletion(t, w, func(c *cpu.Core) { c.AttachEngine(pre) })
+		})
+	}
+}
+
+// TestAllWorkloadsCorrectUnderClassicRA repeats the check with classic
+// flush-based runahead active.
+func TestAllWorkloadsCorrectUnderClassicRA(t *testing.T) {
+	for _, w := range smallWorkloads() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			ra := core.NewClassicRA(core.DefaultRAConfig())
+			runToCompletion(t, w, func(c *cpu.Core) { c.AttachEngine(ra) })
+		})
+	}
+}
+
+// TestDeterministicCycles: identical configurations must produce
+// bit-identical cycle counts, including under VR.
+func TestDeterministicCycles(t *testing.T) {
+	run := func() uint64 {
+		w := workloads.Camel(12, 1500)
+		vr := core.NewVR(core.DefaultVRConfig())
+		c := runToCompletion(t, w, func(c *cpu.Core) { vr.Bind(c) })
+		return c.Stats.Cycles
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("nondeterministic simulation: %d vs %d cycles", a, b)
+	}
+}

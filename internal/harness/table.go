@@ -1,0 +1,42 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+)
+
+// Table is a formatted experiment result: the textual equivalent of one of
+// the paper's tables or figures (figures become row-per-series tables).
+type Table struct {
+	ID     string // experiment id, e.g. "F7"
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a row of stringified cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", t.ID, t.Title)
+	tw := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.Join(t.Header, "\t"))
+	for _, row := range t.Rows {
+		fmt.Fprintln(tw, strings.Join(row, "\t"))
+	}
+	tw.Flush()
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}
+
+// f formats a float with 2 decimals; fx with the given precision.
+func f(v float64) string         { return fmt.Sprintf("%.2f", v) }
+func fx(v float64, p int) string { return fmt.Sprintf("%.*f", p, v) }
+func d(v uint64) string          { return fmt.Sprintf("%d", v) }
+func pct(v float64) string       { return fmt.Sprintf("%.1f%%", v*100) }

@@ -1,0 +1,274 @@
+package isa
+
+import "fmt"
+
+// Builder assembles a Program. It supports named labels with forward
+// references; Build resolves them and reports any that remain undefined.
+//
+//	b := isa.NewBuilder("sum")
+//	b.Li(acc, 0)
+//	b.Label("loop")
+//	b.Ld(tmp, base, idx, 3, 0)
+//	b.Add(acc, acc, tmp)
+//	b.AddI(idx, idx, 1)
+//	b.Blt(idx, n, "loop")
+//	b.Halt()
+//	prog, err := b.Build()
+type Builder struct {
+	name    string
+	instrs  []Instr
+	labels  map[string]int
+	pending map[string][]int // label -> instruction indices awaiting fixup
+	err     error
+}
+
+// NewBuilder returns an empty Builder for a program with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{
+		name:    name,
+		labels:  make(map[string]int),
+		pending: make(map[string][]int),
+	}
+}
+
+// PC returns the index the next emitted instruction will occupy.
+func (b *Builder) PC() int { return len(b.instrs) }
+
+// Label defines a label at the current position. Defining the same label
+// twice is an error reported by Build.
+func (b *Builder) Label(name string) {
+	if _, dup := b.labels[name]; dup {
+		b.setErr(fmt.Errorf("isa: duplicate label %q", name))
+		return
+	}
+	b.labels[name] = len(b.instrs)
+	for _, idx := range b.pending[name] {
+		b.instrs[idx].Target = len(b.instrs)
+	}
+	delete(b.pending, name)
+}
+
+// Emit appends a raw instruction.
+func (b *Builder) Emit(in Instr) { b.instrs = append(b.instrs, in) }
+
+func (b *Builder) branch(op Op, s1, s2 Reg, label string) {
+	in := Instr{Op: op, Src1: s1, Src2: s2}
+	if tgt, ok := b.labels[label]; ok {
+		in.Target = tgt
+	} else {
+		in.Target = -1
+		b.pending[label] = append(b.pending[label], len(b.instrs))
+	}
+	b.instrs = append(b.instrs, in)
+}
+
+func (b *Builder) setErr(err error) {
+	if b.err == nil {
+		b.err = err
+	}
+}
+
+// --- ALU ---
+
+// Add emits dst = s1 + s2.
+func (b *Builder) Add(dst, s1, s2 Reg) { b.Emit(Instr{Op: Add, Dst: dst, Src1: s1, Src2: s2}) }
+
+// Sub emits dst = s1 - s2.
+func (b *Builder) Sub(dst, s1, s2 Reg) { b.Emit(Instr{Op: Sub, Dst: dst, Src1: s1, Src2: s2}) }
+
+// And emits dst = s1 & s2.
+func (b *Builder) And(dst, s1, s2 Reg) { b.Emit(Instr{Op: And, Dst: dst, Src1: s1, Src2: s2}) }
+
+// Or emits dst = s1 | s2.
+func (b *Builder) Or(dst, s1, s2 Reg) { b.Emit(Instr{Op: Or, Dst: dst, Src1: s1, Src2: s2}) }
+
+// Xor emits dst = s1 ^ s2.
+func (b *Builder) Xor(dst, s1, s2 Reg) { b.Emit(Instr{Op: Xor, Dst: dst, Src1: s1, Src2: s2}) }
+
+// Shl emits dst = s1 << s2.
+func (b *Builder) Shl(dst, s1, s2 Reg) { b.Emit(Instr{Op: Shl, Dst: dst, Src1: s1, Src2: s2}) }
+
+// Shr emits dst = s1 >> s2.
+func (b *Builder) Shr(dst, s1, s2 Reg) { b.Emit(Instr{Op: Shr, Dst: dst, Src1: s1, Src2: s2}) }
+
+// Slt emits dst = (int64(s1) < int64(s2)).
+func (b *Builder) Slt(dst, s1, s2 Reg) { b.Emit(Instr{Op: Slt, Dst: dst, Src1: s1, Src2: s2}) }
+
+// Sltu emits dst = (s1 < s2), unsigned.
+func (b *Builder) Sltu(dst, s1, s2 Reg) { b.Emit(Instr{Op: Sltu, Dst: dst, Src1: s1, Src2: s2}) }
+
+// Seq emits dst = (s1 == s2).
+func (b *Builder) Seq(dst, s1, s2 Reg) { b.Emit(Instr{Op: Seq, Dst: dst, Src1: s1, Src2: s2}) }
+
+// Min emits dst = min(int64(s1), int64(s2)).
+func (b *Builder) Min(dst, s1, s2 Reg) { b.Emit(Instr{Op: Min, Dst: dst, Src1: s1, Src2: s2}) }
+
+// Max emits dst = max(int64(s1), int64(s2)).
+func (b *Builder) Max(dst, s1, s2 Reg) { b.Emit(Instr{Op: Max, Dst: dst, Src1: s1, Src2: s2}) }
+
+// AddI emits dst = s1 + imm.
+func (b *Builder) AddI(dst, s1 Reg, imm int64) {
+	b.Emit(Instr{Op: AddI, Dst: dst, Src1: s1, Imm: imm})
+}
+
+// AndI emits dst = s1 & imm.
+func (b *Builder) AndI(dst, s1 Reg, imm int64) {
+	b.Emit(Instr{Op: AndI, Dst: dst, Src1: s1, Imm: imm})
+}
+
+// OrI emits dst = s1 | imm.
+func (b *Builder) OrI(dst, s1 Reg, imm int64) {
+	b.Emit(Instr{Op: OrI, Dst: dst, Src1: s1, Imm: imm})
+}
+
+// XorI emits dst = s1 ^ imm.
+func (b *Builder) XorI(dst, s1 Reg, imm int64) {
+	b.Emit(Instr{Op: XorI, Dst: dst, Src1: s1, Imm: imm})
+}
+
+// ShlI emits dst = s1 << imm.
+func (b *Builder) ShlI(dst, s1 Reg, imm int64) {
+	b.Emit(Instr{Op: ShlI, Dst: dst, Src1: s1, Imm: imm})
+}
+
+// ShrI emits dst = s1 >> imm.
+func (b *Builder) ShrI(dst, s1 Reg, imm int64) {
+	b.Emit(Instr{Op: ShrI, Dst: dst, Src1: s1, Imm: imm})
+}
+
+// SltI emits dst = (int64(s1) < imm).
+func (b *Builder) SltI(dst, s1 Reg, imm int64) {
+	b.Emit(Instr{Op: SltI, Dst: dst, Src1: s1, Imm: imm})
+}
+
+// Li emits dst = imm.
+func (b *Builder) Li(dst Reg, imm int64) { b.Emit(Instr{Op: Li, Dst: dst, Imm: imm}) }
+
+// Mov emits dst = s1.
+func (b *Builder) Mov(dst, s1 Reg) { b.Emit(Instr{Op: Mov, Dst: dst, Src1: s1}) }
+
+// Mul emits dst = s1 * s2.
+func (b *Builder) Mul(dst, s1, s2 Reg) { b.Emit(Instr{Op: Mul, Dst: dst, Src1: s1, Src2: s2}) }
+
+// Div emits dst = s1 / s2 (signed; x/0 = 0).
+func (b *Builder) Div(dst, s1, s2 Reg) { b.Emit(Instr{Op: Div, Dst: dst, Src1: s1, Src2: s2}) }
+
+// Rem emits dst = s1 % s2 (signed; x%0 = x).
+func (b *Builder) Rem(dst, s1, s2 Reg) { b.Emit(Instr{Op: Rem, Dst: dst, Src1: s1, Src2: s2}) }
+
+// --- floating point ---
+
+// FAdd emits dst = s1 + s2 (float64 bit patterns).
+func (b *Builder) FAdd(dst, s1, s2 Reg) { b.Emit(Instr{Op: FAdd, Dst: dst, Src1: s1, Src2: s2}) }
+
+// FSub emits dst = s1 - s2 (float64 bit patterns).
+func (b *Builder) FSub(dst, s1, s2 Reg) { b.Emit(Instr{Op: FSub, Dst: dst, Src1: s1, Src2: s2}) }
+
+// FMul emits dst = s1 * s2 (float64 bit patterns).
+func (b *Builder) FMul(dst, s1, s2 Reg) { b.Emit(Instr{Op: FMul, Dst: dst, Src1: s1, Src2: s2}) }
+
+// FDiv emits dst = s1 / s2 (float64 bit patterns).
+func (b *Builder) FDiv(dst, s1, s2 Reg) { b.Emit(Instr{Op: FDiv, Dst: dst, Src1: s1, Src2: s2}) }
+
+// FSlt emits dst = (float(s1) < float(s2)).
+func (b *Builder) FSlt(dst, s1, s2 Reg) { b.Emit(Instr{Op: FSlt, Dst: dst, Src1: s1, Src2: s2}) }
+
+// ItoF emits dst = float64(int64(s1)) as bits.
+func (b *Builder) ItoF(dst, s1 Reg) { b.Emit(Instr{Op: ItoF, Dst: dst, Src1: s1}) }
+
+// FtoI emits dst = int64(float64(s1)).
+func (b *Builder) FtoI(dst, s1 Reg) { b.Emit(Instr{Op: FtoI, Dst: dst, Src1: s1}) }
+
+// --- memory ---
+
+// Ld emits dst = Mem[base + (index<<scale) + disp].
+// Pass index 0 with scale 0 for plain base+displacement addressing —
+// register 0 still contributes its value, so use LdD when no index register
+// is wanted.
+func (b *Builder) Ld(dst, base, index Reg, scale uint8, disp int64) {
+	b.Emit(Instr{Op: Ld, Dst: dst, Src1: base, Src2: index, Scale: scale, Imm: disp})
+}
+
+// LdD emits dst = Mem[base + disp], with no index contribution: the index
+// field is RZero, which Builder-written programs keep at 0 by convention.
+func (b *Builder) LdD(dst, base Reg, disp int64) {
+	b.Emit(Instr{Op: Ld, Dst: dst, Src1: base, Src2: RZero, Scale: 0, Imm: disp})
+}
+
+// St emits Mem[base + (index<<scale) + disp] = val.
+func (b *Builder) St(val, base, index Reg, scale uint8, disp int64) {
+	b.Emit(Instr{Op: St, Dst: val, Src1: base, Src2: index, Scale: scale, Imm: disp})
+}
+
+// StD emits Mem[base + disp] = val, with no index register (uses r0).
+func (b *Builder) StD(val, base Reg, disp int64) {
+	b.Emit(Instr{Op: St, Dst: val, Src1: base, Src2: RZero, Scale: 0, Imm: disp})
+}
+
+// --- control flow ---
+
+// Beq emits a branch to label when s1 == s2.
+func (b *Builder) Beq(s1, s2 Reg, label string) { b.branch(Beq, s1, s2, label) }
+
+// Bne emits a branch to label when s1 != s2.
+func (b *Builder) Bne(s1, s2 Reg, label string) { b.branch(Bne, s1, s2, label) }
+
+// Blt emits a branch to label when int64(s1) < int64(s2).
+func (b *Builder) Blt(s1, s2 Reg, label string) { b.branch(Blt, s1, s2, label) }
+
+// Bge emits a branch to label when int64(s1) >= int64(s2).
+func (b *Builder) Bge(s1, s2 Reg, label string) { b.branch(Bge, s1, s2, label) }
+
+// Bltu emits a branch to label when s1 < s2, unsigned.
+func (b *Builder) Bltu(s1, s2 Reg, label string) { b.branch(Bltu, s1, s2, label) }
+
+// Bgeu emits a branch to label when s1 >= s2, unsigned.
+func (b *Builder) Bgeu(s1, s2 Reg, label string) { b.branch(Bgeu, s1, s2, label) }
+
+// Jmp emits an unconditional branch to label.
+func (b *Builder) Jmp(label string) { b.branch(Jmp, 0, 0, label) }
+
+// Halt emits a Halt.
+func (b *Builder) Halt() { b.Emit(Instr{Op: Halt}) }
+
+// RZero is the register the Builder reserves as an always-zero scratch:
+// programs built with the Builder must not write it (kernels in
+// internal/workloads initialize it to 0 and never overwrite it).
+const RZero Reg = 0
+
+// Build resolves labels, validates the program, and returns it. It fails
+// if any referenced label was never defined, if the RZero convention is
+// violated (an instruction other than `li r0, 0` writes register 0 — the
+// kernels in this repository rely on r0 staying zero for no-index
+// addressing), or if an earlier builder call errored.
+func (b *Builder) Build() (*Program, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if len(b.pending) > 0 {
+		for name := range b.pending {
+			return nil, fmt.Errorf("isa: undefined label %q in program %q", name, b.name)
+		}
+	}
+	for i, in := range b.instrs {
+		if in.WritesDst() && in.Dst == RZero && !(in.Op == Li && in.Imm == 0) {
+			return nil, fmt.Errorf("isa: instruction %d (%s) writes r0 in program %q; r0 must stay zero",
+				i, Disasm(in), b.name)
+		}
+	}
+	syms := make(map[string]int, len(b.labels))
+	for k, v := range b.labels {
+		syms[k] = v
+	}
+	return &Program{Name: b.name, Instrs: b.instrs, Symbols: syms}, nil
+}
+
+// MustBuild is Build that panics on error; for use in tests and
+// statically-correct kernel constructors.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

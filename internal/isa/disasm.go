@@ -1,0 +1,49 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Disasm renders one instruction as assembly text.
+func Disasm(in Instr) string {
+	switch {
+	case in.Op == Nop:
+		return "nop"
+	case in.Op == Halt:
+		return "halt"
+	case in.Op == Li:
+		return fmt.Sprintf("li %s, %d", in.Dst, in.Imm)
+	case in.Op == Mov, in.Op == ItoF, in.Op == FtoI:
+		return fmt.Sprintf("%s %s, %s", in.Op, in.Dst, in.Src1)
+	case in.IsLoad():
+		return fmt.Sprintf("ld %s, [%s + %s<<%d + %d]", in.Dst, in.Src1, in.Src2, in.Scale, in.Imm)
+	case in.IsStore():
+		return fmt.Sprintf("st [%s + %s<<%d + %d], %s", in.Src1, in.Src2, in.Scale, in.Imm, in.Dst)
+	case in.Op == Jmp:
+		return fmt.Sprintf("jmp %d", in.Target)
+	case in.IsCondBranch():
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, in.Src1, in.Src2, in.Target)
+	case in.Op >= AddI && in.Op <= SltI:
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, in.Dst, in.Src1, in.Imm)
+	default:
+		return fmt.Sprintf("%s %s, %s, %s", in.Op, in.Dst, in.Src1, in.Src2)
+	}
+}
+
+// DisasmProgram renders a whole program with instruction indices and label
+// annotations, one instruction per line.
+func DisasmProgram(p *Program) string {
+	labelAt := make(map[int][]string)
+	for name, pc := range p.Symbols {
+		labelAt[pc] = append(labelAt[pc], name)
+	}
+	var sb strings.Builder
+	for i, in := range p.Instrs {
+		for _, l := range labelAt[i] {
+			fmt.Fprintf(&sb, "%s:\n", l)
+		}
+		fmt.Fprintf(&sb, "%5d: %s\n", i, Disasm(in))
+	}
+	return sb.String()
+}

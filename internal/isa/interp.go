@@ -1,0 +1,94 @@
+package isa
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Memory is the data-memory interface the functional interpreter and the
+// timing models read and write through. Addresses are byte addresses;
+// accesses move aligned 64-bit words.
+type Memory interface {
+	Load(addr uint64) uint64
+	Store(addr, val uint64)
+}
+
+// ErrBudget is returned by Interp.Run when the instruction budget is
+// exhausted before the program halts.
+var ErrBudget = errors.New("isa: instruction budget exhausted")
+
+// Interp is a functional (timing-free) interpreter. It executes a Program
+// against a Memory, producing architecturally correct results. The timing
+// models are validated against it: any run of the out-of-order core must
+// commit exactly the dynamic instruction stream the interpreter executes
+// and leave identical architectural state.
+type Interp struct {
+	Prog *Program
+	Mem  Memory
+	Regs [NumRegs]uint64
+	PC   int
+
+	// Executed counts dynamic instructions retired (including the Halt).
+	Executed uint64
+	// Loads and Stores count dynamic memory operations.
+	Loads, Stores uint64
+	// Halted is set once a Halt retires.
+	Halted bool
+}
+
+// NewInterp returns an interpreter positioned at instruction 0.
+func NewInterp(p *Program, m Memory) *Interp {
+	return &Interp{Prog: p, Mem: m}
+}
+
+// Step executes a single instruction and advances the PC. It returns false
+// once the program has halted.
+func (it *Interp) Step() bool {
+	if it.Halted {
+		return false
+	}
+	in := it.Prog.At(it.PC)
+	it.Executed++
+	switch {
+	case in.IsHalt():
+		it.Halted = true
+		return false
+	case in.IsLoad():
+		ea := EffAddr(in, it.Regs[in.Src1], it.Regs[in.Src2])
+		it.Regs[in.Dst] = it.Mem.Load(ea)
+		it.Loads++
+		it.PC++
+	case in.IsStore():
+		ea := EffAddr(in, it.Regs[in.Src1], it.Regs[in.Src2])
+		it.Mem.Store(ea, it.Regs[in.Dst])
+		it.Stores++
+		it.PC++
+	case in.IsBranch():
+		if BranchTaken(in, it.Regs[in.Src1], it.Regs[in.Src2]) {
+			it.PC = in.Target
+		} else {
+			it.PC++
+		}
+	default:
+		if in.WritesDst() {
+			it.Regs[in.Dst] = ALUResult(in, it.Regs[in.Src1], it.Regs[in.Src2])
+		}
+		it.PC++
+	}
+	return true
+}
+
+// Run executes until Halt or until budget instructions have executed.
+// A budget of 0 means unlimited. It returns ErrBudget when the budget is
+// exhausted first.
+func (it *Interp) Run(budget uint64) error {
+	for it.Step() {
+		if budget != 0 && it.Executed >= budget {
+			if !it.Halted {
+				return fmt.Errorf("%w (%d instructions, pc=%d)", ErrBudget, it.Executed, it.PC)
+			}
+			break
+		}
+	}
+	return nil
+}

@@ -1,0 +1,76 @@
+// Package mem models the simulated memory system: a sparse 64-bit backing
+// store holding architectural data, and a timing hierarchy of set-associative
+// caches (L1-D, L2, L3) with MSHR-limited miss handling over a
+// bandwidth-constrained DRAM, mirroring the baseline configuration in the
+// paper's Table 1.
+//
+// The functional store (Backing) and the timing hierarchy (Hierarchy) are
+// deliberately separate: runahead execution reads real data through Backing
+// while its memory accesses are timed — and contend for MSHRs and DRAM
+// bandwidth — through the same Hierarchy the main thread uses.
+package mem
+
+// LineSize is the cache line size in bytes.
+const LineSize = 64
+
+// pageShift sizes backing pages at 4 KiB (512 words).
+const (
+	pageShift = 12
+	pageWords = 1 << (pageShift - 3)
+)
+
+// Backing is a sparse, paged functional memory. The zero value is not
+// usable; create with NewBacking. It implements isa.Memory.
+//
+// Accesses are aligned to 64-bit words: the low three address bits are
+// ignored, matching the mini-ISA's word-granular loads and stores.
+type Backing struct {
+	pages map[uint64]*[pageWords]uint64
+}
+
+// NewBacking returns an empty memory; all addresses read as zero.
+func NewBacking() *Backing {
+	return &Backing{pages: make(map[uint64]*[pageWords]uint64)}
+}
+
+// Load returns the 64-bit word at addr (aligned down).
+func (b *Backing) Load(addr uint64) uint64 {
+	pg, ok := b.pages[addr>>pageShift]
+	if !ok {
+		return 0
+	}
+	return pg[(addr>>3)&(pageWords-1)]
+}
+
+// Store writes the 64-bit word at addr (aligned down).
+func (b *Backing) Store(addr, val uint64) {
+	key := addr >> pageShift
+	pg, ok := b.pages[key]
+	if !ok {
+		pg = new([pageWords]uint64)
+		b.pages[key] = pg
+	}
+	pg[(addr>>3)&(pageWords-1)] = val
+}
+
+// StoreSlice writes vals as consecutive 64-bit words starting at addr.
+func (b *Backing) StoreSlice(addr uint64, vals []uint64) {
+	for i, v := range vals {
+		b.Store(addr+uint64(i)*8, v)
+	}
+}
+
+// LoadSlice reads n consecutive 64-bit words starting at addr.
+func (b *Backing) LoadSlice(addr uint64, n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = b.Load(addr + uint64(i)*8)
+	}
+	return out
+}
+
+// Footprint returns the number of bytes of allocated pages, a proxy for
+// the workload's touched data size.
+func (b *Backing) Footprint() uint64 {
+	return uint64(len(b.pages)) << pageShift
+}

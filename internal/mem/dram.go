@@ -1,0 +1,74 @@
+package mem
+
+// DRAM models main memory with a minimum access latency and a single
+// bandwidth-limited channel, matching the paper's "50 ns min. latency,
+// 51.2 GB/s bandwidth, request-based contention model".
+//
+// Each line transfer occupies the channel for a fixed service interval
+// (LineSize / bytes-per-cycle). Requests that arrive while the channel is
+// busy queue behind it, so their observed latency grows — the
+// request-based contention the paper describes. This is what ultimately
+// bounds how much MLP any runahead technique can convert into speedup.
+type DRAM struct {
+	// MinLatency is the unloaded access latency in core cycles.
+	MinLatency uint64
+	// ServiceInterval is the channel occupancy per line in core cycles.
+	ServiceInterval uint64
+
+	nextFree uint64
+
+	// Stats
+	Accesses      uint64
+	TotalLatency  uint64 // sum of observed latencies, for averages
+	BusyCycles    uint64 // channel occupancy, for utilization
+	MaxQueueDelay uint64
+}
+
+// NewDRAM derives DRAM timing from physical parameters: core clock in GHz,
+// minimum latency in nanoseconds, and bandwidth in GB/s.
+func NewDRAM(coreGHz, minLatencyNS, bandwidthGBs float64) *DRAM {
+	interval := float64(LineSize) / (bandwidthGBs / coreGHz) // cycles per line
+	return &DRAM{
+		MinLatency:      uint64(minLatencyNS * coreGHz),
+		ServiceInterval: uint64(interval + 0.5),
+	}
+}
+
+// Access issues one line fetch at the given cycle and returns the cycle the
+// data is available. Contention pushes the start time to the channel's next
+// free slot.
+func (d *DRAM) Access(cycle uint64) (done uint64) {
+	start := cycle
+	if d.nextFree > start {
+		start = d.nextFree
+	}
+	d.nextFree = start + d.ServiceInterval
+	done = start + d.MinLatency
+	lat := done - cycle
+	d.Accesses++
+	d.TotalLatency += lat
+	d.BusyCycles += d.ServiceInterval
+	if q := start - cycle; q > d.MaxQueueDelay {
+		d.MaxQueueDelay = q
+	}
+	return done
+}
+
+// AvgLatency returns the mean observed DRAM latency in cycles.
+func (d *DRAM) AvgLatency() float64 {
+	if d.Accesses == 0 {
+		return 0
+	}
+	return float64(d.TotalLatency) / float64(d.Accesses)
+}
+
+// ResetStats zeroes the counters, keeping the channel schedule.
+func (d *DRAM) ResetStats() {
+	d.Accesses, d.TotalLatency, d.BusyCycles, d.MaxQueueDelay = 0, 0, 0, 0
+}
+
+// Reset clears channel state and statistics.
+func (d *DRAM) Reset() {
+	d.nextFree = 0
+	d.Accesses, d.TotalLatency, d.BusyCycles, d.MaxQueueDelay = 0, 0, 0, 0
+}

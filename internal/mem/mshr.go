@@ -1,0 +1,150 @@
+package mem
+
+// MSHRFile models the L1-D miss status holding registers: the hard limit on
+// how many distinct line misses can be outstanding at once (24 in the
+// paper's Table 1). Vector Runahead's whole point is to keep this structure
+// full of useful misses; the file therefore also integrates occupancy over
+// time so the harness can report average outstanding misses per cycle
+// (the MLP figure).
+type MSHRFile struct {
+	capacity int
+	// entries holds outstanding misses as (line, done, source) tuples;
+	// expired entries are compacted lazily as the clock advances.
+	lines []uint64
+	done  []uint64
+	srcs  []PrefetchSource
+
+	// Stats
+	Allocations   uint64
+	Merges        uint64 // secondary misses folded into an existing entry
+	StallEvents   uint64 // allocations that had to wait for a free MSHR
+	occupancyArea uint64 // sum over misses of (done - start): occupancy integral
+	lastCycle     uint64 // most recent observation point, for GC only
+}
+
+// NewMSHRFile returns a file with the given number of entries.
+func NewMSHRFile(capacity int) *MSHRFile {
+	return &MSHRFile{capacity: capacity}
+}
+
+// Capacity returns the number of MSHR entries.
+func (m *MSHRFile) Capacity() int { return m.capacity }
+
+// expire drops entries whose miss completed at or before cycle.
+func (m *MSHRFile) expire(cycle uint64) {
+	if cycle > m.lastCycle {
+		m.lastCycle = cycle
+	}
+	w := 0
+	for i := range m.lines {
+		if m.done[i] > cycle {
+			m.lines[w] = m.lines[i]
+			m.done[w] = m.done[i]
+			m.srcs[w] = m.srcs[i]
+			w++
+		}
+	}
+	m.lines = m.lines[:w]
+	m.done = m.done[:w]
+	m.srcs = m.srcs[:w]
+}
+
+// Outstanding returns the completion cycle and requesting source if the
+// line already has an MSHR allocated at the given cycle (a secondary miss
+// that merges).
+func (m *MSHRFile) Outstanding(line uint64, cycle uint64) (done uint64, src PrefetchSource, ok bool) {
+	m.expire(cycle)
+	for i := range m.lines {
+		if m.lines[i] == line {
+			return m.done[i], m.srcs[i], true
+		}
+	}
+	return 0, SrcDemand, false
+}
+
+// InFlight returns the number of outstanding misses at the given cycle.
+func (m *MSHRFile) InFlight(cycle uint64) int {
+	m.expire(cycle)
+	return len(m.lines)
+}
+
+// Acquire allocates an MSHR for a new line miss arriving at cycle. If the
+// file is full the allocation waits for the earliest completion; the
+// returned start is the cycle the miss can actually be issued to the next
+// level. Call Complete afterwards to record the completion time.
+func (m *MSHRFile) Acquire(cycle uint64) (start uint64) {
+	m.expire(cycle)
+	m.Allocations++
+	if len(m.lines) < m.capacity {
+		return cycle
+	}
+	m.StallEvents++
+	// Wait for the earliest outstanding miss to complete.
+	earliest := m.done[0]
+	ei := 0
+	for i := 1; i < len(m.done); i++ {
+		if m.done[i] < earliest {
+			earliest = m.done[i]
+			ei = i
+		}
+	}
+	// Free that entry as of `earliest`.
+	if earliest > m.lastCycle {
+		m.lastCycle = earliest
+	}
+	last := len(m.lines) - 1
+	m.lines[ei] = m.lines[last]
+	m.done[ei] = m.done[last]
+	m.srcs[ei] = m.srcs[last]
+	m.lines = m.lines[:last]
+	m.done = m.done[:last]
+	m.srcs = m.srcs[:last]
+	return earliest
+}
+
+// TryAcquire allocates an MSHR only if one is free at cycle; prefetchers
+// use it so they never stall (a full file just drops the prefetch).
+func (m *MSHRFile) TryAcquire(cycle uint64) bool {
+	m.expire(cycle)
+	if len(m.lines) >= m.capacity {
+		return false
+	}
+	m.Allocations++
+	return true
+}
+
+// Complete records that the miss for line, started at start via
+// Acquire/TryAcquire, finishes at done. The (done - start) interval feeds
+// the occupancy integral behind AvgOccupancy.
+func (m *MSHRFile) Complete(line, start, done uint64, src PrefetchSource) {
+	m.lines = append(m.lines, line)
+	m.done = append(m.done, done)
+	m.srcs = append(m.srcs, src)
+	if done > start {
+		m.occupancyArea += done - start
+	}
+}
+
+// AvgOccupancy returns the mean number of in-flight misses per cycle over
+// a run of the given total length — the paper's MLP metric (Fig. 9 style,
+// MSHRs used per cycle on average).
+func (m *MSHRFile) AvgOccupancy(totalCycles uint64) float64 {
+	if totalCycles == 0 {
+		return 0
+	}
+	return float64(m.occupancyArea) / float64(totalCycles)
+}
+
+// ResetStats zeroes the counters, keeping outstanding entries.
+func (m *MSHRFile) ResetStats() {
+	m.Allocations, m.Merges, m.StallEvents, m.occupancyArea = 0, 0, 0, 0
+}
+
+// Reset clears all entries and statistics.
+func (m *MSHRFile) Reset() {
+	m.lines = m.lines[:0]
+	m.done = m.done[:0]
+	m.srcs = m.srcs[:0]
+	m.Allocations, m.Merges, m.StallEvents = 0, 0, 0
+	m.occupancyArea, m.lastCycle = 0, 0
+}

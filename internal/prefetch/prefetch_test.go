@@ -1,0 +1,239 @@
+package prefetch
+
+import (
+	"testing"
+	"testing/quick"
+
+	"vrsim/internal/mem"
+)
+
+func TestStrideTableLearnsStride(t *testing.T) {
+	st := NewStrideTable(4)
+	var e *StrideEntry
+	for i := 0; i < 5; i++ {
+		e = st.Observe(10, uint64(0x1000+8*i))
+	}
+	if !e.Confident() || e.Stride != 8 {
+		t.Fatalf("entry = %+v", *e)
+	}
+}
+
+func TestStrideTableLosesConfidenceOnIrregular(t *testing.T) {
+	st := NewStrideTable(4)
+	for i := 0; i < 5; i++ {
+		st.Observe(10, uint64(0x1000+8*i))
+	}
+	var e *StrideEntry
+	addrs := []uint64{0x9000, 0x100, 0x7700, 0x3}
+	for _, a := range addrs {
+		e = st.Observe(10, a)
+	}
+	if e.Confident() {
+		t.Fatalf("random addresses must kill confidence: %+v", *e)
+	}
+}
+
+func TestStrideTableLRUEviction(t *testing.T) {
+	st := NewStrideTable(2)
+	st.Observe(1, 0x100)
+	st.Observe(2, 0x200)
+	st.Observe(1, 0x108) // touch PC 1
+	st.Observe(3, 0x300) // evicts PC 2
+	if _, ok := st.Lookup(2); ok {
+		t.Error("PC 2 should have been evicted")
+	}
+	if _, ok := st.Lookup(1); !ok {
+		t.Error("PC 1 should survive")
+	}
+	if _, ok := st.Lookup(3); !ok {
+		t.Error("PC 3 should be present")
+	}
+}
+
+func TestStrideTableNegativeStride(t *testing.T) {
+	st := NewStrideTable(4)
+	var e *StrideEntry
+	for i := 10; i >= 0; i-- {
+		e = st.Observe(7, uint64(0x1000+16*i))
+	}
+	if !e.Confident() || e.Stride != -16 {
+		t.Fatalf("entry = %+v", *e)
+	}
+}
+
+func TestStrideTableSizeBytes(t *testing.T) {
+	st := NewStrideTable(32)
+	// Paper: 32-entry stride detector requires 460 bytes.
+	if got := st.SizeBytes(); got != 460 {
+		t.Errorf("SizeBytes = %d, want 460", got)
+	}
+}
+
+// Property: a perfectly striding PC always reaches confidence within 4
+// observations regardless of base address and (nonzero) stride.
+func TestStrideTableConvergenceProperty(t *testing.T) {
+	f := func(base uint64, strideRaw int16) bool {
+		stride := int64(strideRaw)
+		if stride == 0 {
+			return true
+		}
+		st := NewStrideTable(4)
+		var e *StrideEntry
+		for i := int64(0); i < 5; i++ {
+			e = st.Observe(1, uint64(int64(base)+i*stride))
+		}
+		return e.Confident() && e.Stride == stride
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func newHier() (*mem.Hierarchy, *mem.Backing) {
+	h := mem.NewHierarchy(mem.DefaultConfig())
+	b := mem.NewBacking()
+	h.Data = b
+	return h, b
+}
+
+func TestStreamPrefetcherCoversStream(t *testing.T) {
+	h, _ := newHier()
+	p := NewStreamPrefetcher(16, 4)
+	h.SetPrefetcher(p)
+	// Walk an array with a 64-byte stride (one line per access).
+	cycle := uint64(0)
+	misses := 0
+	for i := 0; i < 200; i++ {
+		cycle += 300
+		r := h.Access(cycle, 5, uint64(0x100000+i*64), false, mem.ClassDemand, mem.SrcDemand)
+		if r.Level == mem.AtMem {
+			misses++
+		}
+	}
+	if p.Issued == 0 {
+		t.Fatal("stream prefetcher never fired")
+	}
+	// After training, almost all accesses should be covered.
+	if misses > 20 {
+		t.Errorf("off-chip demand misses = %d; prefetcher ineffective", misses)
+	}
+	if h.Stats.PrefetchUseful[mem.SrcStride] < 100 {
+		t.Errorf("useful prefetches = %d", h.Stats.PrefetchUseful[mem.SrcStride])
+	}
+}
+
+func TestStreamPrefetcherIgnoresWritesAndRandom(t *testing.T) {
+	h, _ := newHier()
+	p := NewStreamPrefetcher(16, 4)
+	h.SetPrefetcher(p)
+	cycle := uint64(0)
+	// Random-ish addresses: no confident stream should form.
+	addrs := []uint64{0x1000, 0x9988, 0x200, 0x77440, 0x3330, 0x10008, 0x5550}
+	for _, a := range addrs {
+		cycle += 300
+		h.Access(cycle, 9, a, false, mem.ClassDemand, mem.SrcDemand)
+	}
+	if p.Issued != 0 {
+		t.Errorf("prefetches issued on random stream: %d", p.Issued)
+	}
+}
+
+// buildIndirect lays out B (index array) and A (target array) and returns
+// their bases: B[i] holds indices into A.
+func buildIndirect(b *mem.Backing, n int) (baseB, baseA uint64) {
+	baseB = 0x100000
+	baseA = 0x4000000
+	// A genuinely shuffled permutation: an affine sequence would itself be
+	// a constant-stride stream and the detector would (correctly) treat
+	// the indirect loads as striding.
+	perm := make([]uint64, n)
+	for i := range perm {
+		perm[i] = uint64(i)
+	}
+	s := uint64(0x9e3779b97f4a7c15)
+	for i := n - 1; i > 0; i-- {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		j := s % uint64(i+1)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	for i := 0; i < n; i++ {
+		b.Store(baseB+uint64(i)*8, perm[i])
+	}
+	return baseB, baseA
+}
+
+func TestIMPLearnsSimpleIndirection(t *testing.T) {
+	h, bk := newHier()
+	imp := NewIMP()
+	h.SetPrefetcher(imp)
+	baseB, baseA := buildIndirect(bk, 4096)
+
+	cycle := uint64(0)
+	covered := 0
+	total := 0
+	for i := 0; i < 1024; i++ {
+		cycle += 400
+		// Index load: B[i] (striding, pc 11).
+		ib := h.Access(cycle, 11, baseB+uint64(i)*8, false, mem.ClassDemand, mem.SrcDemand)
+		_ = ib
+		idx := bk.Load(baseB + uint64(i)*8)
+		// Indirect load: A[B[i]] (pc 12), 8-byte elements.
+		r := h.Access(cycle+10, 12, baseA+(idx<<3), false, mem.ClassDemand, mem.SrcDemand)
+		if i > 64 { // after warmup
+			total++
+			if r.Level == mem.AtL1 || r.Level == mem.AtL2 {
+				covered++
+			}
+		}
+	}
+	if imp.PatternCount() == 0 {
+		t.Fatal("IMP never confirmed a pattern")
+	}
+	if imp.Issued == 0 {
+		t.Fatal("IMP never issued prefetches")
+	}
+	if float64(covered)/float64(total) < 0.5 {
+		t.Errorf("IMP coverage too low: %d/%d", covered, total)
+	}
+}
+
+func TestIMPFailsOnHashedIndirection(t *testing.T) {
+	h, bk := newHier()
+	imp := NewIMP()
+	h.SetPrefetcher(imp)
+	baseB := uint64(0x100000)
+	n := 2048
+	for i := 0; i < n; i++ {
+		bk.Store(baseB+uint64(i)*8, uint64(i*13+5))
+	}
+	baseA := uint64(0x4000000)
+	cycle := uint64(0)
+	for i := 0; i < 512; i++ {
+		cycle += 400
+		h.Access(cycle, 21, baseB+uint64(i)*8, false, mem.ClassDemand, mem.SrcDemand)
+		v := bk.Load(baseB + uint64(i)*8)
+		// Hash-style address: value*value*8 is non-linear in v.
+		hashAddr := baseA + (v*v%4096)<<6
+		h.Access(cycle+10, 22, hashAddr, false, mem.ClassDemand, mem.SrcDemand)
+	}
+	if imp.PatternCount() != 0 {
+		t.Errorf("IMP confirmed %d patterns on a hashed chain", imp.PatternCount())
+	}
+}
+
+func TestCombinedFansOut(t *testing.T) {
+	h, _ := newHier()
+	sp := NewStreamPrefetcher(16, 2)
+	imp := NewIMP()
+	h.SetPrefetcher(&Combined{Parts: []mem.Prefetcher{sp, imp}})
+	cycle := uint64(0)
+	for i := 0; i < 50; i++ {
+		cycle += 300
+		h.Access(cycle, 5, uint64(0x100000+i*64), false, mem.ClassDemand, mem.SrcDemand)
+	}
+	if sp.Issued == 0 {
+		t.Error("combined did not train the stream prefetcher")
+	}
+}

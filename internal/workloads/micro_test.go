@@ -1,0 +1,52 @@
+package workloads
+
+import (
+	"testing"
+
+	"vrsim/internal/isa"
+)
+
+func TestMicroWorkloadsValidate(t *testing.T) {
+	micros := []*Workload{
+		MicroStream(5000),
+		MicroChase(1<<12, 3000),
+		MicroIndirect(1, 0, 12, 2000),
+		MicroIndirect(2, 4, 12, 2000),
+		MicroIndirect(3, 8, 12, 1000),
+	}
+	for _, w := range micros {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			runAndValidate(t, w)
+		})
+	}
+}
+
+func TestMicroIndirectInstructionScaling(t *testing.T) {
+	// Per-iteration instruction counts must grow with levels and rounds.
+	count := func(levels, rounds int) float64 {
+		w := MicroIndirect(levels, rounds, 10, 500)
+		it := isa.NewInterp(w.Prog, w.Fresh())
+		if err := it.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		return float64(it.Executed) / 500
+	}
+	thin := count(1, 0)
+	fat := count(2, 8)
+	if fat <= thin+30 {
+		t.Errorf("per-iteration cost: l1r0=%.1f l2r8=%.1f", thin, fat)
+	}
+}
+
+func TestMicroChaseIsSerial(t *testing.T) {
+	// Each hop must depend on the previous: the interpreter's final
+	// pointer differs if we truncate the hop count.
+	w1 := MicroChase(1<<10, 100)
+	w2 := MicroChase(1<<10, 101)
+	r1 := runAndValidate(t, w1).Regs[1]
+	r2 := runAndValidate(t, w2).Regs[1]
+	if r1 == r2 {
+		t.Error("hop count does not change the final pointer; chain broken")
+	}
+}

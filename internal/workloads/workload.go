@@ -1,0 +1,203 @@
+// Package workloads contains the paper's 13 evaluation benchmarks,
+// hand-compiled to the vrsim mini-ISA: the GAP kernels (bc, bfs, cc, pr,
+// sssp) over synthetic Kronecker and uniform-random graphs, and the
+// HPC/database set (camel, graph500, hj2, hj8, kangaroo, nas-cg, nas-is,
+// randomaccess) the paper groups as hpc-db.
+//
+// Each workload couples a program with a memory-image initializer and a
+// validator: the initializer lays the data structures out in the simulated
+// backing store; the validator recomputes the kernel natively in Go and
+// compares, so a timing model can never silently execute the wrong
+// computation. Working sets default to several times the 8 MB LLC so the
+// indirect loads miss, matching the paper's region-of-interest conditions.
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"vrsim/internal/isa"
+	"vrsim/internal/mem"
+)
+
+// Workload is one runnable benchmark.
+type Workload struct {
+	// Name identifies the workload in reports ("bfs", "camel", ...).
+	Name string
+	// Prog is the kernel.
+	Prog *isa.Program
+	// Init writes the initial memory image.
+	Init func(d *mem.Backing)
+	// Validate recomputes the kernel natively and checks the final memory
+	// image and registers; it returns an error describing any mismatch.
+	Validate func(d *mem.Backing, regs [isa.NumRegs]uint64) error
+	// SuggestedBudget is an instruction budget that covers the kernel's
+	// steady state at default scale (0 = run to Halt).
+	SuggestedBudget uint64
+	// SkipInstrs is the initialization-phase length: the harness runs this
+	// many instructions, resets all statistics (keeping microarchitectural
+	// state), and measures from there — the paper's region-of-interest
+	// convention.
+	SkipInstrs uint64
+}
+
+// Fresh returns an initialized backing store for the workload.
+func (w *Workload) Fresh() *mem.Backing {
+	d := mem.NewBacking()
+	w.Init(d)
+	return d
+}
+
+// layout hands out disjoint, widely separated array base addresses so
+// distinct structures never share cache sets by accident and prefetcher
+// streams stay distinguishable.
+type layout struct{ next uint64 }
+
+func newLayout() *layout { return &layout{next: 0x0100_0000} }
+
+// array reserves space for n 64-bit words and returns the base address.
+func (l *layout) array(n int) uint64 {
+	base := l.next
+	bytes := uint64(n) * 8
+	// Round the next base past this array plus a 1 MiB guard, keeping
+	// 4 KiB alignment.
+	l.next = (base + bytes + (1 << 20) + 0xfff) &^ 0xfff
+	return base
+}
+
+// storeAll writes vals to consecutive words at base.
+func storeAll(d *mem.Backing, base uint64, vals []uint64) {
+	d.StoreSlice(base, vals)
+}
+
+// checkRange compares a memory range against expected values.
+func checkRange(d *mem.Backing, base uint64, want []uint64, what string) error {
+	for i, w := range want {
+		if got := d.Load(base + uint64(i)*8); got != w {
+			return fmt.Errorf("%s[%d] = %d, want %d", what, i, got, w)
+		}
+	}
+	return nil
+}
+
+// A BuilderEntry lazily constructs one default-scale workload. Graph
+// workloads synthesize multi-million-edge inputs at construction, so the
+// registry hands out builders rather than eagerly building all 18.
+type BuilderEntry struct {
+	Name  string
+	Build func() *Workload
+}
+
+// Builders returns the default registry, in the paper's reporting order:
+// the GAP kernels once per graph input (KR and UR), then the hpc-db set.
+func Builders() []BuilderEntry {
+	var bs []BuilderEntry
+	for _, g := range []struct {
+		tag  string
+		kind GraphKind
+	}{{"kr", GraphKron}, {"ur", GraphUniform}} {
+		g := g
+		bs = append(bs,
+			BuilderEntry{"bc_" + g.tag, func() *Workload { return BC(DefaultGraphScale, g.kind, g.tag) }},
+			BuilderEntry{"bfs_" + g.tag, func() *Workload { return BFS(DefaultGraphScale, g.kind, g.tag) }},
+			BuilderEntry{"cc_" + g.tag, func() *Workload { return CC(DefaultGraphScale, g.kind, g.tag) }},
+			BuilderEntry{"pr_" + g.tag, func() *Workload { return PR(DefaultGraphScale, g.kind, g.tag) }},
+			BuilderEntry{"sssp_" + g.tag, func() *Workload { return SSSP(DefaultGraphScale, g.kind, g.tag) }},
+		)
+	}
+	bs = append(bs,
+		BuilderEntry{"camel", func() *Workload { return Camel(DefaultTableLog, DefaultIters) }},
+		BuilderEntry{"graph500", func() *Workload { return Graph500(DefaultGraphScale) }},
+		BuilderEntry{"hj2", func() *Workload { return HashJoin(2, DefaultTableLog, DefaultIters) }},
+		BuilderEntry{"hj8", func() *Workload { return HashJoin(8, DefaultTableLog, DefaultIters) }},
+		BuilderEntry{"kangaroo", func() *Workload { return Kangaroo(DefaultTableLog, DefaultIters) }},
+		BuilderEntry{"nas-cg", func() *Workload { return NASCG(DefaultCGRows, DefaultCGNnzPerRow) }},
+		BuilderEntry{"nas-is", func() *Workload { return NASIS(DefaultTableLog, DefaultIters) }},
+		BuilderEntry{"randomaccess", func() *Workload { return RandomAccess(DefaultTableLog, DefaultIters) }},
+	)
+	return bs
+}
+
+// Names lists the registry's workload names without building anything.
+func Names() []string {
+	bs := Builders()
+	names := make([]string, len(bs))
+	for i, b := range bs {
+		names[i] = b.Name
+	}
+	return names
+}
+
+// Registry builds every workload at default scale. Graph synthesis makes
+// this expensive; prefer ByName for single workloads.
+func Registry() []*Workload {
+	bs := Builders()
+	ws := make([]*Workload, len(bs))
+	for i, b := range bs {
+		ws[i] = b.Build()
+	}
+	return ws
+}
+
+// ByName builds the named workload at its default scale.
+func ByName(name string) (*Workload, error) {
+	for _, b := range Builders() {
+		if b.Name == name {
+			return b.Build(), nil
+		}
+	}
+	return nil, fmt.Errorf("workloads: unknown workload %q", name)
+}
+
+// Default scales: working sets of tens of MB (≫ 8 MB LLC) while keeping
+// laptop-scale runtimes.
+const (
+	// DefaultGraphScale gives 2^20 vertices, so the per-vertex arrays the
+	// GAP kernels access indirectly (visited, dist, comp, contrib) are
+	// 8 MB each — at or beyond LLC capacity, as with the paper's inputs.
+	DefaultGraphScale = 20
+	// csrEdgeFactor is the average degree for CSR-traversal kernels;
+	// edge-list kernels (cc, sssp) use edgeListFactor to bound their
+	// three m-sized arrays.
+	csrEdgeFactor  = 8
+	edgeListFactor = 4
+
+	DefaultTableLog    = 21 // 2^21-entry tables (16 MB)
+	DefaultIters       = 30000
+	DefaultCGRows      = 1 << 19
+	DefaultCGNnzPerRow = 8
+)
+
+// Common register conventions for the kernels in this package.
+const (
+	rZero isa.Reg = 0 // always zero
+	// r1..r27 are kernel-specific; see each builder.
+)
+
+// f64bits and f64frombits convert between float64 values and the register
+// bit patterns the ISA's FP opcodes operate on.
+func f64bits(f float64) uint64     { return math.Float64bits(f) }
+func f64frombits(u uint64) float64 { return math.Float64frombits(u) }
+
+// xorshift64 is the deterministic generator used by initializers and
+// validators alike.
+type xorshift64 struct{ s uint64 }
+
+func newXorshift(seed uint64) *xorshift64 {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &xorshift64{s: seed}
+}
+
+func (x *xorshift64) next() uint64 {
+	x.s ^= x.s << 13
+	x.s ^= x.s >> 7
+	x.s ^= x.s << 17
+	return x.s
+}
+
+// Disasm renders a workload's kernel as annotated assembly.
+func Disasm(w *Workload) string {
+	return isa.DisasmProgram(w.Prog)
+}

@@ -1,0 +1,124 @@
+// Package vrsim is a simulation library reproducing Vector Runahead
+// (Naithani, Ainsworth, Jones, Eeckhout — ISCA 2021): an out-of-order core
+// model with a three-level cache hierarchy, hardware prefetchers, the
+// Precise Runahead and Vector Runahead engines, and the paper's benchmark
+// suite, all in pure Go.
+//
+// Quick start:
+//
+//	w, _ := vrsim.Workload("camel")
+//	base, _ := vrsim.Run(w, vrsim.NewConfig(vrsim.OoO))
+//	fast, _ := vrsim.Run(w, vrsim.NewConfig(vrsim.VR))
+//	fmt.Printf("VR speedup: %.2fx\n", vrsim.Speedup(base, fast))
+//
+// Custom kernels are written with the assembler-style Builder and wrapped
+// in a WorkloadSpec; see examples/customkernel.
+package vrsim
+
+import (
+	"vrsim/internal/harness"
+	"vrsim/internal/isa"
+	"vrsim/internal/mem"
+	"vrsim/internal/workloads"
+)
+
+// Technique selects the evaluated configuration for a run.
+type Technique = harness.Technique
+
+// The evaluated techniques.
+const (
+	// OoO is the baseline out-of-order core (stride prefetcher on).
+	OoO = harness.TechOoO
+	// PRE adds Precise Runahead Execution (Naithani et al., HPCA 2020).
+	PRE = harness.TechPRE
+	// IMP adds the Indirect Memory Prefetcher (Yu et al., MICRO-48).
+	IMP = harness.TechIMP
+	// VR adds Vector Runahead — the paper's contribution.
+	VR = harness.TechVR
+	// Oracle makes every access an L1 hit: the upper bound.
+	Oracle = harness.TechOracle
+	// RA adds classic flush-based runahead (a lineage baseline).
+	RA = harness.TechRA
+)
+
+// Config parameterizes one simulation run.
+type Config = harness.RunConfig
+
+// Result carries the measured metrics of one run.
+type Result = harness.Result
+
+// NewConfig returns the paper's Table 1 baseline configured for the given
+// technique, with a 1M-instruction region-of-interest budget.
+func NewConfig(tech Technique) Config { return harness.DefaultRunConfig(tech) }
+
+// WorkloadSpec couples a program with its memory initializer and validator;
+// see the workloads package documentation for field semantics.
+type WorkloadSpec = workloads.Workload
+
+// Workload builds one of the 18 registered benchmarks by name
+// (bc_kr, bfs_kr, ..., camel, graph500, hj2, hj8, kangaroo, nas-cg,
+// nas-is, randomaccess).
+func Workload(name string) (*WorkloadSpec, error) { return workloads.ByName(name) }
+
+// WorkloadNames lists the registered benchmarks without building them.
+func WorkloadNames() []string { return workloads.Names() }
+
+// Run simulates a workload under a configuration.
+func Run(w *WorkloadSpec, cfg Config) (Result, error) { return harness.Run(w, cfg) }
+
+// Speedup returns r's performance normalized to base (CPI ratio).
+func Speedup(base, r Result) float64 { return harness.Speedup(base, r) }
+
+// HarmonicMean aggregates speedups the way the paper's h-mean rows do.
+func HarmonicMean(xs []float64) float64 { return harness.HarmonicMean(xs) }
+
+// Builder assembles custom kernels; Reg names its registers and Program is
+// the executable result.
+type (
+	// Builder is the assembler used to write custom kernels.
+	Builder = isa.Builder
+	// Reg is an architectural register index (0..31; keep r0 zero).
+	Reg = isa.Reg
+	// Program is an assembled kernel.
+	Program = isa.Program
+	// Memory is the functional backing store workload initializers fill.
+	Memory = mem.Backing
+)
+
+// NewKernelBuilder starts a custom kernel with the given name.
+func NewKernelBuilder(name string) *Builder { return isa.NewBuilder(name) }
+
+// Experiment drivers: each regenerates one of the paper's tables/figures.
+// See EXPERIMENTS.md for the index.
+type (
+	// ExpOptions tunes experiment budgets and workload subsets.
+	ExpOptions = harness.Options
+	// ExpTable is a rendered experiment result.
+	ExpTable = harness.Table
+)
+
+// Experiments re-exported from the harness.
+var (
+	ExpT1Config            = harness.ExpT1Config
+	ExpT2Graphs            = harness.ExpT2Graphs
+	ExpF2ROBSweep          = harness.ExpF2ROBSweep
+	ExpF7Performance       = harness.ExpF7Performance
+	ExpF8Ablation          = harness.ExpF8Ablation
+	ExpF9MLP               = harness.ExpF9MLP
+	ExpF10AccuracyCoverage = harness.ExpF10AccuracyCoverage
+	ExpF11Timeliness       = harness.ExpF11Timeliness
+	ExpF12VectorLength     = harness.ExpF12VectorLength
+	ExpF13DelayedTerm      = harness.ExpF13DelayedTermination
+	ExpT3Hardware          = harness.ExpT3Hardware
+
+	// Ablations beyond the paper's figures (EXPERIMENTS.md §ablations).
+	ExpA1MSHRSweep        = harness.ExpA1MSHRSweep
+	ExpA2BandwidthSweep   = harness.ExpA2BandwidthSweep
+	ExpA3Predictors       = harness.ExpA3Predictors
+	ExpA4StridePrefetcher = harness.ExpA4StridePrefetcher
+	ExpA5CoreScaling      = harness.ExpA5CoreScaling
+	ExpA6LoopBound        = harness.ExpA6LoopBound
+	ExpA7RunaheadLineage  = harness.ExpA7RunaheadLineage
+	ExpA8Reconverge       = harness.ExpA8Reconverge
+	ExpA9ExtraWork        = harness.ExpA9ExtraWork
+)

@@ -1,0 +1,110 @@
+package vrsim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	names := WorkloadNames()
+	if len(names) != 18 {
+		t.Fatalf("WorkloadNames = %d entries", len(names))
+	}
+	w, err := Workload("camel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := NewConfig(OoO)
+	cfg.MaxBudget = 50_000
+	base, err := Run(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Instrs == 0 || base.IPC <= 0 {
+		t.Fatalf("empty result: %+v", base)
+	}
+	cfgVR := NewConfig(VR)
+	cfgVR.MaxBudget = 50_000
+	fast, err := Run(w, cfgVR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := Speedup(base, fast); s <= 0 {
+		t.Fatalf("speedup = %f", s)
+	}
+	if h := HarmonicMean([]float64{1, 1}); h != 1 {
+		t.Fatalf("hmean = %f", h)
+	}
+}
+
+func TestPublicKernelBuilder(t *testing.T) {
+	b := NewKernelBuilder("api-demo")
+	const (
+		rA   Reg = 1
+		rI   Reg = 2
+		rN   Reg = 3
+		rV   Reg = 4
+		rSum Reg = 5
+	)
+	b.Li(rA, 0x100000)
+	b.Li(rI, 0)
+	b.Li(rN, 500)
+	b.Li(rSum, 0)
+	b.Label("loop")
+	b.Ld(rV, rA, rI, 3, 0)
+	b.Add(rSum, rSum, rV)
+	b.AddI(rI, rI, 1)
+	b.Blt(rI, rN, "loop")
+	b.Halt()
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &WorkloadSpec{
+		Name: "api-demo",
+		Prog: prog,
+		Init: func(d *Memory) {
+			for i := 0; i < 500; i++ {
+				d.Store(0x100000+uint64(i)*8, 2)
+			}
+		},
+		SuggestedBudget: 5000,
+	}
+	r, err := Run(w, NewConfig(OoO))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Instrs == 0 {
+		t.Fatal("custom kernel did not run")
+	}
+}
+
+func TestPublicExperimentsExposed(t *testing.T) {
+	tab := ExpT1Config()
+	if !strings.Contains(tab.String(), "ROB size") {
+		t.Error("T1 table malformed")
+	}
+	t3 := ExpT3Hardware()
+	if !strings.Contains(t3.String(), "total") {
+		t.Error("T3 table malformed")
+	}
+	opt := ExpOptions{MaxBudget: 30_000, Workloads: []string{"nas-is"}}
+	mlp, err := ExpF9MLP(opt)
+	if err != nil || len(mlp.Rows) != 1 {
+		t.Fatalf("F9 via public API: %v", err)
+	}
+}
+
+func TestTechniquesAvailable(t *testing.T) {
+	w, err := Workload("nas-is")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tech := range []Technique{OoO, PRE, IMP, VR, Oracle, RA} {
+		cfg := NewConfig(tech)
+		cfg.MaxBudget = 20_000
+		if _, err := Run(w, cfg); err != nil {
+			t.Errorf("%s: %v", tech, err)
+		}
+	}
+}
