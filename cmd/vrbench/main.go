@@ -6,8 +6,15 @@
 //	vrbench -exp f7                     # main results figure
 //	vrbench -exp all -maxbudget 300000  # everything, faster
 //	vrbench -exp f2 -workloads camel,hj8
+//	vrbench -exp f7 -faults spike=0.01,spikecycles=2000 -faultseed 7
 //
 // Experiment ids follow EXPERIMENTS.md: t1 t2 f2 f7 f8 f9 f10 f11 f12 f13 t3.
+//
+// Runs are supervised: a crash or hang in one workload/technique cell
+// renders as ERR in its table (with the error and a machine-state snapshot
+// in the table's error summary) instead of aborting the campaign. vrbench
+// exits non-zero if any experiment failed or any cell degraded, but only
+// after every requested experiment has been attempted.
 package main
 
 import (
@@ -15,23 +22,28 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
 	"vrsim/internal/harness"
+	"vrsim/internal/mem"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "f7", "experiment id (t1,t2,f2,f7..f13,t3,a1..a5,all,ablations)")
-		budget  = flag.Uint64("maxbudget", 1_000_000, "per-run instruction cap")
-		wl      = flag.String("workloads", "", "comma-separated workload subset (default: experiment's set)")
-		verbose = flag.Bool("v", false, "print per-run progress to stderr")
-		format  = flag.String("format", "text", "output format: text|json")
+		exp       = flag.String("exp", "f7", "experiment id (t1,t2,f2,f7..f13,t3,a1..a9,all,ablations)")
+		budget    = flag.Uint64("maxbudget", 1_000_000, "per-run instruction cap")
+		wl        = flag.String("workloads", "", "comma-separated workload subset (default: experiment's set)")
+		verbose   = flag.Bool("v", false, "print per-run progress to stderr")
+		format    = flag.String("format", "text", "output format: text|json")
+		faults    = flag.String("faults", "", "fault injection spec, comma-separated k=v: spike=P,spikecycles=N,drop=P,starve=P,starvecycles=N,panic=N,hang=N")
+		faultSeed = flag.Int64("faultseed", 1, "fault injection RNG seed")
+		watchdog  = flag.Uint64("watchdog", 0, "abort a run after this many cycles without a commit (0 = default)")
 	)
 	flag.Parse()
 
-	opt := harness.Options{MaxBudget: *budget}
+	opt := harness.Options{MaxBudget: *budget, WatchdogCycles: *watchdog}
 	if *wl != "" {
 		opt.Workloads = strings.Split(*wl, ",")
 	}
@@ -41,6 +53,17 @@ func main() {
 			fmt.Fprintf(os.Stderr, "[%7.1fs] %s\n", time.Since(start).Seconds(), msg)
 		}
 	}
+	if *faults != "" {
+		fc, err := parseFaults(*faults, *faultSeed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vrbench: -faults: %v\n", err)
+			os.Exit(2)
+		}
+		opt.Faults = fc
+		// One injector for the whole campaign, so count-based faults
+		// (panic=N, hang=N) fire in exactly one cell of the sweep.
+		opt.FaultInjector = mem.NewFaultInjector(fc)
+	}
 
 	ids := []string{*exp}
 	if *exp == "all" {
@@ -48,19 +71,78 @@ func main() {
 	} else if *exp == "ablations" {
 		ids = []string{"a1", "a2", "a3", "a4", "a5", "a6", "a7", "a8", "a9"}
 	}
+	failed := false
 	for _, id := range ids {
-		if err := runExp(id, opt, *format); err != nil {
+		degraded, err := runExp(id, opt, *format)
+		if err != nil {
+			// Keep going: the remaining experiments still produce their
+			// tables; the campaign reports failure at the end.
 			fmt.Fprintf(os.Stderr, "vrbench: %s: %v\n", id, err)
-			os.Exit(1)
+			failed = true
+			continue
 		}
+		if degraded {
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
 	}
 }
 
-func runExp(id string, opt harness.Options, format string) error {
-	var (
-		t   *harness.Table
-		err error
-	)
+// parseFaults builds a fault-injection config from a comma-separated
+// k=v spec, e.g. "spike=0.01,spikecycles=2000,panic=50000".
+func parseFaults(spec string, seed int64) (mem.FaultConfig, error) {
+	fc := mem.FaultConfig{Seed: seed}
+	for _, kv := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return fc, fmt.Errorf("bad entry %q (want key=value)", kv)
+		}
+		switch k {
+		case "spike", "drop", "starve":
+			p, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return fc, fmt.Errorf("%s: %v", k, err)
+			}
+			switch k {
+			case "spike":
+				fc.LatencySpikeProb = p
+			case "drop":
+				fc.DropPrefetchProb = p
+			case "starve":
+				fc.MSHRStarveProb = p
+			}
+		case "spikecycles", "starvecycles", "panic", "hang":
+			n, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				return fc, fmt.Errorf("%s: %v", k, err)
+			}
+			switch k {
+			case "spikecycles":
+				fc.LatencySpikeCycles = n
+			case "starvecycles":
+				fc.MSHRStarveCycles = n
+			case "panic":
+				fc.PanicAfter = n
+			case "hang":
+				fc.HangAfter = n
+			}
+		default:
+			return fc, fmt.Errorf("unknown key %q", k)
+		}
+	}
+	if err := fc.Validate(); err != nil {
+		return fc, err
+	}
+	return fc, nil
+}
+
+// runExp runs one experiment. degraded reports that the experiment
+// completed but one or more of its cells failed (the table carries the
+// error summary).
+func runExp(id string, opt harness.Options, format string) (degraded bool, err error) {
+	var t *harness.Table
 	switch id {
 	case "t1":
 		t = harness.ExpT1Config()
@@ -103,16 +185,17 @@ func runExp(id string, opt harness.Options, format string) error {
 	case "a9":
 		t, err = harness.ExpA9ExtraWork(opt)
 	default:
-		return fmt.Errorf("unknown experiment %q", id)
+		return false, fmt.Errorf("unknown experiment %q", id)
 	}
 	if err != nil {
-		return err
+		return false, err
 	}
+	degraded = len(t.Errors) > 0
 	if format == "json" {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		return enc.Encode(t)
+		return degraded, enc.Encode(t)
 	}
 	fmt.Println(t.String())
-	return nil
+	return degraded, nil
 }

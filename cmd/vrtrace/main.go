@@ -44,7 +44,7 @@ func main() {
 	}
 
 	data := w.Fresh()
-	hier := mem.NewHierarchy(mem.DefaultConfig())
+	hier := mem.MustHierarchy(mem.DefaultConfig())
 	hier.Data = data
 	hier.SetPrefetcher(prefetch.NewStreamPrefetcher(16, 4))
 	c := cpu.New(cpu.DefaultConfig(), w.Prog, data, hier)

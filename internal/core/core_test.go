@@ -104,7 +104,7 @@ func runWith(t *testing.T, k hashChainKernel, attach func(c *cpu.Core)) *cpu.Cor
 	t.Helper()
 	data := mem.NewBacking()
 	k.init(data)
-	h := mem.NewHierarchy(mem.DefaultConfig())
+	h := mem.MustHierarchy(mem.DefaultConfig())
 	h.Data = data
 	c := cpu.New(cpu.DefaultConfig(), k.prog, data, h)
 	if attach != nil {

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBadConfig is wrapped by every engine-configuration validation
+// failure in this package.
+var ErrBadConfig = errors.New("core: invalid engine configuration")
+
+// Guard rails for fuzzed and externally supplied configurations: within
+// these bounds the per-lane vector state the VR engine allocates stays
+// small.
+const (
+	maxVectorLength  = 1 << 12
+	maxLaneWidth     = 1 << 12
+	maxStrideEntries = 1 << 20
+)
+
+func engineBound(name string, v, lo, hi int) error {
+	if v < lo || v > hi {
+		return fmt.Errorf("%w: %s %d out of range [%d,%d]", ErrBadConfig, name, v, lo, hi)
+	}
+	return nil
+}
+
+// Validate checks the Vector Runahead configuration, returning an error
+// wrapping ErrBadConfig for the first problem found.
+func (c VRConfig) Validate() error {
+	if err := engineBound("VectorLength", c.VectorLength, 1, maxVectorLength); err != nil {
+		return err
+	}
+	if err := engineBound("LaneWidth", c.LaneWidth, 1, maxLaneWidth); err != nil {
+		return err
+	}
+	if err := engineBound("StrideEntries", c.StrideEntries, 1, maxStrideEntries); err != nil {
+		return err
+	}
+	if c.MaxChainInstrs == 0 {
+		return fmt.Errorf("%w: MaxChainInstrs must be positive", ErrBadConfig)
+	}
+	if c.MaxInstrsPerActivation == 0 {
+		return fmt.Errorf("%w: MaxInstrsPerActivation must be positive", ErrBadConfig)
+	}
+	return nil
+}
+
+// Validate checks the Precise Runahead configuration.
+func (c PREConfig) Validate() error {
+	if c.MaxInstrsPerActivation == 0 {
+		return fmt.Errorf("%w: MaxInstrsPerActivation must be positive", ErrBadConfig)
+	}
+	return nil
+}
+
+// Validate checks the classic-runahead configuration.
+func (c RAConfig) Validate() error {
+	if c.MaxInstrsPerActivation == 0 {
+		return fmt.Errorf("%w: MaxInstrsPerActivation must be positive", ErrBadConfig)
+	}
+	return nil
+}

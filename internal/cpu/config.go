@@ -13,6 +13,9 @@
 package cpu
 
 import (
+	"errors"
+	"fmt"
+
 	"vrsim/internal/branch"
 	"vrsim/internal/isa"
 )
@@ -47,6 +50,14 @@ type Config struct {
 	// MaxCycles aborts a run that exceeds this many cycles (0 = no limit);
 	// a guard against deadlocked configurations.
 	MaxCycles uint64
+
+	// WatchdogCycles is the forward-progress watchdog: a run in which no
+	// instruction commits for this many consecutive cycles aborts with
+	// ErrNoProgress (0 = disabled). Unlike the blunt MaxCycles cap it
+	// catches hangs in proportion to their symptom — a stuck commit stage
+	// — long before the cycle budget drains, and carries a typed error
+	// the supervision layer turns into a machine-state snapshot.
+	WatchdogCycles uint64
 }
 
 // DefaultConfig returns the Table 1 baseline: 4 GHz 5-wide out-of-order,
@@ -84,7 +95,67 @@ func DefaultConfig() Config {
 
 	cfg.NewPredictor = func() branch.Predictor { return branch.NewTAGE(10) }
 	cfg.MaxCycles = 2_000_000_000
+	cfg.WatchdogCycles = 1_000_000
 	return cfg
+}
+
+// ErrBadConfig is wrapped by every core-configuration validation failure.
+var ErrBadConfig = errors.New("cpu: invalid configuration")
+
+// Guard rails for fuzzed and externally supplied configurations: within
+// these bounds construction can never exhaust memory or deadlock the
+// issue stage.
+const (
+	maxWidth      = 64
+	maxROBSize    = 1 << 20
+	maxQueueSize  = 1 << 20
+	maxFrontDepth = 1 << 10
+	maxFUCount    = 1 << 10
+)
+
+// Validate checks the core configuration, returning an error wrapping
+// ErrBadConfig for the first problem found. A config that validates always
+// constructs and cannot deadlock on structural grounds (every functional
+// unit class an instruction might need has at least one unit).
+func (c Config) Validate() error {
+	bound := func(name string, v, lo, hi int) error {
+		if v < lo || v > hi {
+			return fmt.Errorf("%w: %s %d out of range [%d,%d]", ErrBadConfig, name, v, lo, hi)
+		}
+		return nil
+	}
+	if err := bound("Width", c.Width, 1, maxWidth); err != nil {
+		return err
+	}
+	if err := bound("ROBSize", c.ROBSize, 1, maxROBSize); err != nil {
+		return err
+	}
+	if err := bound("IQSize", c.IQSize, 1, maxQueueSize); err != nil {
+		return err
+	}
+	if err := bound("LQSize", c.LQSize, 1, maxQueueSize); err != nil {
+		return err
+	}
+	if err := bound("SQSize", c.SQSize, 1, maxQueueSize); err != nil {
+		return err
+	}
+	if err := bound("FrontendDepth", c.FrontendDepth, 1, maxFrontDepth); err != nil {
+		return err
+	}
+	if err := bound("FetchBufSize", c.FetchBufSize, 1, maxQueueSize); err != nil {
+		return err
+	}
+	// FUNone needs no units (Nop/Halt execute without one); every real
+	// class must have at least one unit or issue deadlocks.
+	for fu := isa.FUNone + 1; fu < isa.NumFUClasses; fu++ {
+		if err := bound(fmt.Sprintf("FUCount[%d]", fu), c.FUCount[fu], 1, maxFUCount); err != nil {
+			return err
+		}
+	}
+	if c.NewPredictor == nil {
+		return fmt.Errorf("%w: NewPredictor is nil", ErrBadConfig)
+	}
+	return nil
 }
 
 // WithROB returns a copy of the config with the ROB (and, in proportion,

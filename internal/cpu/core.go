@@ -1,12 +1,18 @@
 package cpu
 
 import (
+	"errors"
 	"fmt"
 
 	"vrsim/internal/branch"
 	"vrsim/internal/isa"
 	"vrsim/internal/mem"
 )
+
+// ErrNoProgress reports a tripped forward-progress watchdog: no
+// instruction committed for Config.WatchdogCycles consecutive cycles.
+// Callers distinguish hangs from slow runs with errors.Is.
+var ErrNoProgress = errors.New("cpu: no forward progress")
 
 // Engine is a runahead engine attached to the core. The core calls Tick
 // once at the end of every cycle; the engine observes core state (stalls,
@@ -269,6 +275,27 @@ func (c *Core) ROBFull() bool { return c.count == c.cfg.ROBSize }
 // ROBOccupancy returns the number of in-flight instructions.
 func (c *Core) ROBOccupancy() int { return c.count }
 
+// FetchPC returns the next PC the front end will fetch.
+func (c *Core) FetchPC() int { return c.fetchPC }
+
+// HeadPC returns the PC of the reorder-buffer head, or -1 when empty —
+// the instruction a hang diagnosis usually points at.
+func (c *Core) HeadPC() int {
+	if c.count == 0 {
+		return -1
+	}
+	return c.rob[c.head].pc
+}
+
+// IQLen returns the current issue-queue occupancy.
+func (c *Core) IQLen() int { return len(c.iq) }
+
+// LQOccupancy returns the number of in-flight loads.
+func (c *Core) LQOccupancy() int { return c.lqCount }
+
+// SQOccupancy returns the number of in-flight stores.
+func (c *Core) SQOccupancy() int { return c.sqCount }
+
 // slot maps an in-ROB ordinal (0 = head) to a ring index.
 func (c *Core) slot(i int) int { return (c.head + i) % c.cfg.ROBSize }
 
@@ -372,13 +399,25 @@ func (c *Core) ResetStats() {
 }
 
 // Run simulates until the program halts, `budget` instructions have
-// committed (0 = unlimited), or the configured cycle limit trips, which is
-// reported as an error.
+// committed (0 = unlimited), the configured cycle limit trips, or the
+// forward-progress watchdog fires (ErrNoProgress); limit violations are
+// reported as errors.
 func (c *Core) Run(budget uint64) error {
+	lastCommitted := c.Stats.Committed
+	lastProgress := c.cycle
 	for !c.halted && (budget == 0 || c.Stats.Committed < budget) {
 		if c.cfg.MaxCycles != 0 && c.cycle >= c.cfg.MaxCycles {
 			return fmt.Errorf("cpu: cycle limit %d exceeded at pc=%d (committed %d)",
 				c.cfg.MaxCycles, c.fetchPC, c.Stats.Committed)
+		}
+		if c.cfg.WatchdogCycles != 0 {
+			if c.Stats.Committed != lastCommitted {
+				lastCommitted = c.Stats.Committed
+				lastProgress = c.cycle
+			} else if c.cycle-lastProgress >= c.cfg.WatchdogCycles {
+				return fmt.Errorf("%w: no commit in %d cycles (cycle %d, fetch pc=%d, committed %d)",
+					ErrNoProgress, c.cfg.WatchdogCycles, c.cycle, c.fetchPC, c.Stats.Committed)
+			}
 		}
 		c.Step()
 	}

@@ -275,7 +275,7 @@ func TestMSHRLimitsCoreMLP(t *testing.T) {
 	cfg := mem.DefaultConfig()
 	cfg.MSHRs = 4
 	data := mem.NewBacking()
-	h := mem.NewHierarchy(cfg)
+	h := mem.MustHierarchy(cfg)
 	h.Data = data
 	c := New(DefaultConfig(), b.MustBuild(), data, h)
 	if err := c.Run(0); err != nil {

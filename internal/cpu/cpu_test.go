@@ -11,7 +11,7 @@ import (
 
 func newCore(p *isa.Program) (*Core, *mem.Backing) {
 	data := mem.NewBacking()
-	h := mem.NewHierarchy(mem.DefaultConfig())
+	h := mem.MustHierarchy(mem.DefaultConfig())
 	h.Data = data
 	c := New(DefaultConfig(), p, data, h)
 	return c, data
@@ -346,7 +346,7 @@ func TestMaxCyclesGuard(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.MaxCycles = 5000
 	data := mem.NewBacking()
-	h := mem.NewHierarchy(mem.DefaultConfig())
+	h := mem.MustHierarchy(mem.DefaultConfig())
 	c := New(cfg, b.MustBuild(), data, h)
 	if err := c.Run(0); err == nil {
 		t.Fatal("expected cycle-limit error")
@@ -460,7 +460,7 @@ func TestBimodalVsTAGEOnCore(t *testing.T) {
 		cfg := DefaultConfig()
 		cfg.NewPredictor = np
 		data := mem.NewBacking()
-		h := mem.NewHierarchy(mem.DefaultConfig())
+		h := mem.MustHierarchy(mem.DefaultConfig())
 		h.Data = data
 		c := New(cfg, build(), data, h)
 		if err := c.Run(0); err != nil {

@@ -25,20 +25,24 @@ func ExpA1MSHRSweep(opt Options) (*Table, error) {
 		for _, w := range ws {
 			rcO := DefaultRunConfig(TechOoO)
 			rcO.Mem.MSHRs = n
-			ro, err := opt.run(w, rcO)
-			if err != nil {
-				return nil, err
+			ro, ok := opt.cell(t, w, rcO)
+			if !ok {
+				continue
 			}
 			rcV := DefaultRunConfig(TechVR)
 			rcV.Mem.MSHRs = n
-			rv, err := opt.run(w, rcV)
-			if err != nil {
-				return nil, err
+			rv, ok := opt.cell(t, w, rcV)
+			if !ok {
+				continue
 			}
 			oooIPC = append(oooIPC, ro.IPC)
 			vrIPC = append(vrIPC, rv.IPC)
 			gain = append(gain, Speedup(ro, rv))
 			mlp = append(mlp, rv.MLP)
+		}
+		if len(oooIPC) == 0 {
+			t.AddRow(d(uint64(n)), errCell, errCell, errCell, errCell)
+			continue
 		}
 		t.AddRow(d(uint64(n)), f(HarmonicMean(oooIPC)), f(HarmonicMean(vrIPC)),
 			f(HarmonicMean(gain)), f(mean(mlp)))
@@ -61,19 +65,23 @@ func ExpA2BandwidthSweep(opt Options) (*Table, error) {
 		for _, w := range ws {
 			rcO := DefaultRunConfig(TechOoO)
 			rcO.Mem.DRAMGBs = gbs
-			ro, err := opt.run(w, rcO)
-			if err != nil {
-				return nil, err
+			ro, ok := opt.cell(t, w, rcO)
+			if !ok {
+				continue
 			}
 			rcV := DefaultRunConfig(TechVR)
 			rcV.Mem.DRAMGBs = gbs
-			rv, err := opt.run(w, rcV)
-			if err != nil {
-				return nil, err
+			rv, ok := opt.cell(t, w, rcV)
+			if !ok {
+				continue
 			}
 			oooIPC = append(oooIPC, ro.IPC)
 			vrIPC = append(vrIPC, rv.IPC)
 			gain = append(gain, Speedup(ro, rv))
+		}
+		if len(oooIPC) == 0 {
+			t.AddRow(fx(gbs, 1), errCell, errCell, errCell)
+			continue
 		}
 		t.AddRow(fx(gbs, 1), f(HarmonicMean(oooIPC)), f(HarmonicMean(vrIPC)), f(HarmonicMean(gain)))
 	}
@@ -103,19 +111,23 @@ func ExpA3Predictors(opt Options) (*Table, error) {
 		for _, w := range ws {
 			rcO := DefaultRunConfig(TechOoO)
 			rcO.CPU.NewPredictor = p.mk
-			ro, err := opt.run(w, rcO)
-			if err != nil {
-				return nil, err
+			ro, ok := opt.cell(t, w, rcO)
+			if !ok {
+				continue
 			}
 			rcV := DefaultRunConfig(TechVR)
 			rcV.CPU.NewPredictor = p.mk
-			rv, err := opt.run(w, rcV)
-			if err != nil {
-				return nil, err
+			rv, ok := opt.cell(t, w, rcV)
+			if !ok {
+				continue
 			}
 			oooIPC = append(oooIPC, ro.IPC)
 			gain = append(gain, Speedup(ro, rv))
 			mr = append(mr, ro.MispredictRate)
+		}
+		if len(oooIPC) == 0 {
+			t.AddRow(p.name, errCell, errCell, errCell)
+			continue
 		}
 		t.AddRow(p.name, f(HarmonicMean(oooIPC)), f(HarmonicMean(gain)), pct(mean(mr)))
 	}
@@ -133,27 +145,31 @@ func ExpA4StridePrefetcher(opt Options) (*Table, error) {
 	t := &Table{ID: "A4", Title: "Ablation: L1-D stride prefetcher (h-mean over sweep set)",
 		Header: []string{"config", "ooo IPC", "vr IPC", "vr gain"}}
 	for _, off := range []bool{false, true} {
+		label := "stride pf on"
+		if off {
+			label = "stride pf off"
+		}
 		var oooIPC, vrIPC, gain []float64
 		for _, w := range ws {
 			rcO := DefaultRunConfig(TechOoO)
 			rcO.DisableStridePrefetcher = off
-			ro, err := opt.run(w, rcO)
-			if err != nil {
-				return nil, err
+			ro, ok := opt.cell(t, w, rcO)
+			if !ok {
+				continue
 			}
 			rcV := DefaultRunConfig(TechVR)
 			rcV.DisableStridePrefetcher = off
-			rv, err := opt.run(w, rcV)
-			if err != nil {
-				return nil, err
+			rv, ok := opt.cell(t, w, rcV)
+			if !ok {
+				continue
 			}
 			oooIPC = append(oooIPC, ro.IPC)
 			vrIPC = append(vrIPC, rv.IPC)
 			gain = append(gain, Speedup(ro, rv))
 		}
-		label := "stride pf on"
-		if off {
-			label = "stride pf off"
+		if len(oooIPC) == 0 {
+			t.AddRow(label, errCell, errCell, errCell)
+			continue
 		}
 		t.AddRow(label, f(HarmonicMean(oooIPC)), f(HarmonicMean(vrIPC)), f(HarmonicMean(gain)))
 	}
@@ -180,19 +196,23 @@ func ExpA5CoreScaling(opt Options) (*Table, error) {
 		for _, w := range ws {
 			rcO := DefaultRunConfig(TechOoO)
 			rcO.CPU = cpu.DefaultConfig().WithROB(size)
-			ro, err := opt.run(w, rcO)
-			if err != nil {
-				return nil, err
+			ro, ok := opt.cell(t, w, rcO)
+			if !ok {
+				continue
 			}
 			rcV := DefaultRunConfig(TechVR)
 			rcV.CPU = cpu.DefaultConfig().WithROB(size)
-			rv, err := opt.run(w, rcV)
-			if err != nil {
-				return nil, err
+			rv, ok := opt.cell(t, w, rcV)
+			if !ok {
+				continue
 			}
 			oooIPC = append(oooIPC, ro.IPC)
 			vrIPC = append(vrIPC, rv.IPC)
 			gain = append(gain, Speedup(ro, rv))
+		}
+		if len(oooIPC) == 0 {
+			t.AddRow(d(uint64(size)), errCell, errCell, errCell)
+			continue
 		}
 		t.AddRow(d(uint64(size)), f(HarmonicMean(oooIPC)), f(HarmonicMean(vrIPC)), f(HarmonicMean(gain)))
 	}
@@ -213,27 +233,32 @@ func ExpA6LoopBound(opt Options) (*Table, error) {
 	t := &Table{ID: "A6", Title: "Extension: loop-bound-aware vectorization",
 		Header: []string{"workload", "vr", "vr+bounds", "bound-masked lanes", "traffic ratio"}}
 	for _, w := range ws {
-		base, err := opt.run(w, DefaultRunConfig(TechOoO))
-		if err != nil {
-			return nil, err
+		base, ok := opt.cell(t, w, DefaultRunConfig(TechOoO))
+		if !ok {
+			t.AddRow(w.Name, errCell, errCell, errCell, errCell)
+			continue
 		}
-		plain, err := opt.run(w, DefaultRunConfig(TechVR))
-		if err != nil {
-			return nil, err
-		}
+		plain, okP := opt.cell(t, w, DefaultRunConfig(TechVR))
 		rc := DefaultRunConfig(TechVR)
 		rc.VR.LoopBoundAware = true
-		bounded, err := opt.run(w, rc)
-		if err != nil {
-			return nil, err
+		bounded, okB := opt.cell(t, w, rc)
+		vrC, boundsC, lanesC, ratioC := errCell, errCell, errCell, errCell
+		if okP {
+			vrC = f(Speedup(base, plain))
 		}
-		ratio := 0.0
-		if plain.OffChipTotal > 0 {
-			ratio = (float64(bounded.OffChipTotal) / float64(bounded.Instrs)) /
-				(float64(plain.OffChipTotal) / float64(plain.Instrs))
+		if okB {
+			boundsC = f(Speedup(base, bounded))
+			lanesC = d(bounded.VRStats.LanesBoundMasked)
 		}
-		t.AddRow(w.Name, f(Speedup(base, plain)), f(Speedup(base, bounded)),
-			d(bounded.VRStats.LanesBoundMasked), f(ratio))
+		if okP && okB {
+			ratio := 0.0
+			if plain.OffChipTotal > 0 {
+				ratio = (float64(bounded.OffChipTotal) / float64(bounded.Instrs)) /
+					(float64(plain.OffChipTotal) / float64(plain.Instrs))
+			}
+			ratioC = f(ratio)
+		}
+		t.AddRow(w.Name, vrC, boundsC, lanesC, ratioC)
 	}
 	t.Notes = append(t.Notes, "traffic ratio <1 = the extension cut off-chip traffic")
 	return t, nil
@@ -251,15 +276,17 @@ func ExpA7RunaheadLineage(opt Options) (*Table, error) {
 		Header: []string{"workload", "classic ra", "pre", "vr"}}
 	var sums [3][]float64
 	for _, w := range ws {
-		base, err := opt.run(w, DefaultRunConfig(TechOoO))
-		if err != nil {
-			return nil, err
+		base, ok := opt.cell(t, w, DefaultRunConfig(TechOoO))
+		if !ok {
+			t.AddRow(w.Name, errCell, errCell, errCell)
+			continue
 		}
 		cells := []string{w.Name}
 		for i, tech := range []Technique{TechRA, TechPRE, TechVR} {
-			r, err := opt.run(w, DefaultRunConfig(tech))
-			if err != nil {
-				return nil, err
+			r, ok := opt.cell(t, w, DefaultRunConfig(tech))
+			if !ok {
+				cells = append(cells, errCell)
+				continue
 			}
 			s := Speedup(base, r)
 			sums[i] = append(sums[i], s)
@@ -289,25 +316,28 @@ func ExpA8Reconverge(opt Options) (*Table, error) {
 	// both arms — isolating the reconvergence variable.
 	const holdForDivergence = 2048
 	for _, w := range ws {
-		base, err := opt.run(w, DefaultRunConfig(TechOoO))
-		if err != nil {
-			return nil, err
+		base, ok := opt.cell(t, w, DefaultRunConfig(TechOoO))
+		if !ok {
+			t.AddRow(w.Name, errCell, errCell, errCell, errCell)
+			continue
 		}
 		rcPlain := DefaultRunConfig(TechVR)
 		rcPlain.VR.MaxHoldCycles = holdForDivergence
-		plain, err := opt.run(w, rcPlain)
-		if err != nil {
-			return nil, err
-		}
+		plain, okP := opt.cell(t, w, rcPlain)
 		rc := DefaultRunConfig(TechVR)
 		rc.VR.MaxHoldCycles = holdForDivergence
 		rc.VR.Reconverge = true
-		stacked, err := opt.run(w, rc)
-		if err != nil {
-			return nil, err
+		stacked, okS := opt.cell(t, w, rc)
+		vrC, stackC, stashC, resumeC := errCell, errCell, errCell, errCell
+		if okP {
+			vrC = f(Speedup(base, plain))
 		}
-		t.AddRow(w.Name, f(Speedup(base, plain)), f(Speedup(base, stacked)),
-			d(stacked.VRStats.LanesStashed), d(stacked.VRStats.LanesResumed))
+		if okS {
+			stackC = f(Speedup(base, stacked))
+			stashC = d(stacked.VRStats.LanesStashed)
+			resumeC = d(stacked.VRStats.LanesResumed)
+		}
+		t.AddRow(w.Name, vrC, stackC, stashC, resumeC)
 	}
 	t.Notes = append(t.Notes,
 		"both arms run with a relaxed delayed-termination bound so chains reach their divergence points")
@@ -326,28 +356,24 @@ func ExpA9ExtraWork(opt Options) (*Table, error) {
 	t := &Table{ID: "A9", Title: "Pre-executed (discarded) work per committed instruction",
 		Header: []string{"workload", "classic ra", "pre", "vr", "vr speedup"}}
 	for _, w := range ws {
-		base, err := opt.run(w, DefaultRunConfig(TechOoO))
-		if err != nil {
-			return nil, err
+		base, ok := opt.cell(t, w, DefaultRunConfig(TechOoO))
+		if !ok {
+			t.AddRow(w.Name, errCell, errCell, errCell, errCell)
+			continue
 		}
-		ra, err := opt.run(w, DefaultRunConfig(TechRA))
-		if err != nil {
-			return nil, err
+		raC, preC, vrC, spC := errCell, errCell, errCell, errCell
+		if ra, ok := opt.cell(t, w, DefaultRunConfig(TechRA)); ok {
+			raC = pct(float64(ra.RAStats.Instrs) / float64(ra.Instrs))
 		}
-		pre, err := opt.run(w, DefaultRunConfig(TechPRE))
-		if err != nil {
-			return nil, err
+		if pre, ok := opt.cell(t, w, DefaultRunConfig(TechPRE)); ok {
+			preC = pct(float64(pre.PREStats.Instrs) / float64(pre.Instrs))
 		}
-		vr, err := opt.run(w, DefaultRunConfig(TechVR))
-		if err != nil {
-			return nil, err
+		if vr, ok := opt.cell(t, w, DefaultRunConfig(TechVR)); ok {
+			vrWork := vr.VRStats.ScalarInstrs + vr.VRStats.VectorUops + vr.VRStats.GatherLoads
+			vrC = pct(float64(vrWork) / float64(vr.Instrs))
+			spC = f(Speedup(base, vr))
 		}
-		vrWork := vr.VRStats.ScalarInstrs + vr.VRStats.VectorUops + vr.VRStats.GatherLoads
-		t.AddRow(w.Name,
-			pct(float64(ra.RAStats.Instrs)/float64(ra.Instrs)),
-			pct(float64(pre.PREStats.Instrs)/float64(pre.Instrs)),
-			pct(float64(vrWork)/float64(vr.Instrs)),
-			f(Speedup(base, vr)))
+		t.AddRow(w.Name, raC, preC, vrC, spC)
 	}
 	t.Notes = append(t.Notes, "vr column counts scalar walker instructions + vector uops + scalar-equivalent gather lanes")
 	return t, nil

@@ -24,6 +24,16 @@ type Options struct {
 	VectorLengths []int
 	// Progress, when set, receives one line per completed run.
 	Progress func(msg string)
+	// WatchdogCycles overrides the forward-progress watchdog span
+	// (0 = the cpu package default).
+	WatchdogCycles uint64
+	// Faults configures deterministic memory fault injection. The zero
+	// value disables injection.
+	Faults mem.FaultConfig
+	// FaultInjector, when non-nil, is shared by every run (campaign mode):
+	// count-based faults like PanicAfter fire in exactly one cell of the
+	// whole sweep. When nil and Faults is enabled, one is created lazily.
+	FaultInjector *mem.FaultInjector
 }
 
 func (o *Options) budget() uint64 {
@@ -62,8 +72,32 @@ func (o *Options) loadWorkloads(def []string) ([]*workloads.Workload, error) {
 
 func (o *Options) run(w *workloads.Workload, rc RunConfig) (Result, error) {
 	rc.MaxBudget = o.budget()
+	rc.WatchdogCycles = o.WatchdogCycles
+	if o.FaultInjector == nil && o.Faults.Enabled() {
+		if err := o.Faults.Validate(); err != nil {
+			return Result{}, &RunError{Workload: w.Name, Tech: rc.Tech, Phase: "setup", Err: err}
+		}
+		o.FaultInjector = mem.NewFaultInjector(o.Faults)
+	}
+	rc.FaultInjector = o.FaultInjector
 	o.note("running %s/%s", w.Name, rc.Tech)
-	return Run(w, rc)
+	return RunSupervised(w, rc)
+}
+
+// errCell is what a failed run renders as in a table; the failure itself
+// lands in the table's Errors summary.
+const errCell = "ERR"
+
+// cell runs one workload/technique cell under supervision, degrading a
+// failure into a table error entry. ok=false means the caller should
+// render errCell and exclude the cell from any aggregate.
+func (o *Options) cell(t *Table, w *workloads.Workload, rc RunConfig) (Result, bool) {
+	r, err := o.run(w, rc)
+	if err != nil {
+		t.AddError(err)
+		return Result{}, false
+	}
+	return r, true
 }
 
 // sweepSet is the default workload subset for the expensive multi-point
@@ -107,11 +141,11 @@ func ExpT2Graphs(opt Options) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			r, err := opt.run(w, DefaultRunConfig(TechOoO))
-			if err != nil {
-				return nil, err
+			mpki := errCell
+			if r, ok := opt.cell(t, w, DefaultRunConfig(TechOoO)); ok {
+				mpki = f(r.LLCMPKI)
 			}
-			t.AddRow(input, name, d(1<<workloads.DefaultGraphScale), "~"+d(uint64(1<<workloads.DefaultGraphScale)*8), f(r.LLCMPKI))
+			t.AddRow(input, name, d(1<<workloads.DefaultGraphScale), "~"+d(uint64(1<<workloads.DefaultGraphScale)*8), mpki)
 		}
 	}
 	t.Notes = append(t.Notes, "paper inputs are 2111M/2147M-edge graphs; these are LLC-exceeding downscales")
@@ -126,6 +160,8 @@ type PerfRow struct {
 
 // ExpF7Performance reproduces the main results figure: every benchmark
 // under OoO / PRE / IMP / VR / Oracle, normalized to the OoO baseline.
+// Failed cells render as ERR and drop out of the h-means; the table's
+// Errors field carries the diagnostics.
 func ExpF7Performance(opt Options) (*Table, []PerfRow, error) {
 	ws, err := opt.loadWorkloads(nil)
 	if err != nil {
@@ -136,24 +172,29 @@ func ExpF7Performance(opt Options) (*Table, []PerfRow, error) {
 	rows := make([]PerfRow, 0, len(ws))
 	sums := map[Technique][]float64{}
 	for _, w := range ws {
-		base, err := opt.run(w, DefaultRunConfig(TechOoO))
-		if err != nil {
-			return nil, nil, err
+		row := PerfRow{Workload: w.Name, Speedup: map[Technique]float64{}}
+		base, ok := opt.cell(t, w, DefaultRunConfig(TechOoO))
+		if !ok {
+			// No baseline, nothing to normalize against: the whole row fails.
+			t.AddRow(w.Name, errCell, errCell, errCell, errCell, errCell)
+			rows = append(rows, row)
+			continue
 		}
-		row := PerfRow{Workload: w.Name, Speedup: map[Technique]float64{TechOoO: 1.0}}
+		row.Speedup[TechOoO] = 1.0
+		cells := []string{w.Name, "1.00"}
 		for _, tech := range []Technique{TechPRE, TechIMP, TechVR, TechOracle} {
-			r, err := opt.run(w, DefaultRunConfig(tech))
-			if err != nil {
-				return nil, nil, err
+			r, ok := opt.cell(t, w, DefaultRunConfig(tech))
+			if !ok {
+				cells = append(cells, errCell)
+				continue
 			}
-			row.Speedup[tech] = Speedup(base, r)
-		}
-		for tech, s := range row.Speedup {
+			s := Speedup(base, r)
+			row.Speedup[tech] = s
 			sums[tech] = append(sums[tech], s)
+			cells = append(cells, f(s))
 		}
 		rows = append(rows, row)
-		t.AddRow(w.Name, "1.00", f(row.Speedup[TechPRE]), f(row.Speedup[TechIMP]),
-			f(row.Speedup[TechVR]), f(row.Speedup[TechOracle]))
+		t.AddRow(cells...)
 	}
 	t.AddRow("h-mean", "1.00", f(HarmonicMean(sums[TechPRE])), f(HarmonicMean(sums[TechIMP])),
 		f(HarmonicMean(sums[TechVR])), f(HarmonicMean(sums[TechOracle])))
@@ -175,35 +216,40 @@ func ExpF2ROBSweep(opt Options) (*Table, error) {
 	t := &Table{ID: "F2", Title: "Performance and full-ROB stall time vs. ROB size (normalized to OoO@350)",
 		Header: []string{"ROB", "ooo perf", "vr perf", "vr gain", "window-stall (ooo)"}}
 
-	// Baseline at 350 per workload.
+	// Baseline at 350 per workload; a workload whose baseline fails drops
+	// out of every sweep point.
 	bases := make([]Result, len(ws))
+	baseOK := make([]bool, len(ws))
 	for i, w := range ws {
 		rc := DefaultRunConfig(TechOoO)
 		rc.CPU = rc.CPU.WithROB(350)
-		b, err := opt.run(w, rc)
-		if err != nil {
-			return nil, err
-		}
-		bases[i] = b
+		bases[i], baseOK[i] = opt.cell(t, w, rc)
 	}
 	for _, size := range sizes {
 		var oooS, vrS, stall []float64
 		for i, w := range ws {
+			if !baseOK[i] {
+				continue
+			}
 			rcO := DefaultRunConfig(TechOoO)
 			rcO.CPU = rcO.CPU.WithROB(size)
-			ro, err := opt.run(w, rcO)
-			if err != nil {
-				return nil, err
+			ro, ok := opt.cell(t, w, rcO)
+			if !ok {
+				continue
 			}
 			rcV := DefaultRunConfig(TechVR)
 			rcV.CPU = rcV.CPU.WithROB(size)
-			rv, err := opt.run(w, rcV)
-			if err != nil {
-				return nil, err
+			rv, ok := opt.cell(t, w, rcV)
+			if !ok {
+				continue
 			}
 			oooS = append(oooS, Speedup(bases[i], ro))
 			vrS = append(vrS, Speedup(bases[i], rv))
 			stall = append(stall, ro.ResourceStallFrac)
+		}
+		if len(oooS) == 0 {
+			t.AddRow(d(uint64(size)), errCell, errCell, errCell, errCell)
+			continue
 		}
 		o, v := HarmonicMean(oooS), HarmonicMean(vrS)
 		t.AddRow(d(uint64(size)), f(o), f(v), f(v/o), pct(mean(stall)))
@@ -223,9 +269,10 @@ func ExpF8Ablation(opt Options) (*Table, error) {
 		Header: []string{"workload", "pre", "vr vl=1", "vr no-delay", "vr full"}}
 	var sums [4][]float64
 	for _, w := range ws {
-		base, err := opt.run(w, DefaultRunConfig(TechOoO))
-		if err != nil {
-			return nil, err
+		base, ok := opt.cell(t, w, DefaultRunConfig(TechOoO))
+		if !ok {
+			t.AddRow(w.Name, errCell, errCell, errCell, errCell)
+			continue
 		}
 		configs := make([]RunConfig, 4)
 		configs[0] = DefaultRunConfig(TechPRE)
@@ -236,9 +283,10 @@ func ExpF8Ablation(opt Options) (*Table, error) {
 		configs[3] = DefaultRunConfig(TechVR)
 		cells := []string{w.Name}
 		for i, rc := range configs {
-			r, err := opt.run(w, rc)
-			if err != nil {
-				return nil, err
+			r, ok := opt.cell(t, w, rc)
+			if !ok {
+				cells = append(cells, errCell)
+				continue
 			}
 			s := Speedup(base, r)
 			sums[i] = append(sums[i], s)
@@ -261,13 +309,15 @@ func ExpF9MLP(opt Options) (*Table, error) {
 	t := &Table{ID: "F9", Title: "Memory-level parallelism (avg MSHRs in use per cycle)",
 		Header: []string{"workload", "ooo", "vr", "ratio"}}
 	for _, w := range ws {
-		ro, err := opt.run(w, DefaultRunConfig(TechOoO))
-		if err != nil {
-			return nil, err
+		ro, ok := opt.cell(t, w, DefaultRunConfig(TechOoO))
+		if !ok {
+			t.AddRow(w.Name, errCell, errCell, errCell)
+			continue
 		}
-		rv, err := opt.run(w, DefaultRunConfig(TechVR))
-		if err != nil {
-			return nil, err
+		rv, ok := opt.cell(t, w, DefaultRunConfig(TechVR))
+		if !ok {
+			t.AddRow(w.Name, f(ro.MLP), errCell, errCell)
+			continue
 		}
 		ratio := 0.0
 		if ro.MLP > 0 {
@@ -289,13 +339,15 @@ func ExpF10AccuracyCoverage(opt Options) (*Table, error) {
 	t := &Table{ID: "F10", Title: "Off-chip traffic and coverage (VR vs. baseline)",
 		Header: []string{"workload", "ooo demand", "vr demand", "vr runahead", "traffic ratio", "coverage"}}
 	for _, w := range ws {
-		ro, err := opt.run(w, DefaultRunConfig(TechOoO))
-		if err != nil {
-			return nil, err
+		ro, ok := opt.cell(t, w, DefaultRunConfig(TechOoO))
+		if !ok {
+			t.AddRow(w.Name, errCell, errCell, errCell, errCell, errCell)
+			continue
 		}
-		rv, err := opt.run(w, DefaultRunConfig(TechVR))
-		if err != nil {
-			return nil, err
+		rv, ok := opt.cell(t, w, DefaultRunConfig(TechVR))
+		if !ok {
+			t.AddRow(w.Name, d(ro.OffChipDemand), errCell, errCell, errCell, errCell)
+			continue
 		}
 		ratio, cover := 0.0, 0.0
 		if ro.OffChipTotal > 0 {
@@ -324,9 +376,10 @@ func ExpF11Timeliness(opt Options) (*Table, error) {
 	t := &Table{ID: "F11", Title: "Timeliness: first-use location of VR-prefetched lines",
 		Header: []string{"workload", "L1", "L2", "L3", "in-flight (late)"}}
 	for _, w := range ws {
-		rv, err := opt.run(w, DefaultRunConfig(TechVR))
-		if err != nil {
-			return nil, err
+		rv, ok := opt.cell(t, w, DefaultRunConfig(TechVR))
+		if !ok {
+			t.AddRow(w.Name, errCell, errCell, errCell, errCell)
+			continue
 		}
 		total := float64(rv.TimelinessL1 + rv.TimelinessL2 + rv.TimelinessL3 + rv.TimelinessInFlight)
 		if total == 0 {
@@ -355,24 +408,28 @@ func ExpF12VectorLength(opt Options) (*Table, error) {
 	t := &Table{ID: "F12", Title: "Sensitivity to vector length (h-mean speedup over OoO)",
 		Header: []string{"lanes", "speedup", "MLP"}}
 	bases := make([]Result, len(ws))
+	baseOK := make([]bool, len(ws))
 	for i, w := range ws {
-		b, err := opt.run(w, DefaultRunConfig(TechOoO))
-		if err != nil {
-			return nil, err
-		}
-		bases[i] = b
+		bases[i], baseOK[i] = opt.cell(t, w, DefaultRunConfig(TechOoO))
 	}
 	for _, vl := range vls {
 		var ss, mlps []float64
 		for i, w := range ws {
+			if !baseOK[i] {
+				continue
+			}
 			rc := DefaultRunConfig(TechVR)
 			rc.VR.VectorLength = vl
-			r, err := opt.run(w, rc)
-			if err != nil {
-				return nil, err
+			r, ok := opt.cell(t, w, rc)
+			if !ok {
+				continue
 			}
 			ss = append(ss, Speedup(bases[i], r))
 			mlps = append(mlps, r.MLP)
+		}
+		if len(ss) == 0 {
+			t.AddRow(d(uint64(vl)), errCell, errCell)
+			continue
 		}
 		t.AddRow(d(uint64(vl)), f(HarmonicMean(ss)), f(mean(mlps)))
 	}
@@ -389,21 +446,21 @@ func ExpF13DelayedTermination(opt Options) (*Table, error) {
 	t := &Table{ID: "F13", Title: "Delayed termination: commit-hold time and its value",
 		Header: []string{"workload", "held cycles", "speedup w/", "speedup w/o"}}
 	for _, w := range ws {
-		base, err := opt.run(w, DefaultRunConfig(TechOoO))
-		if err != nil {
-			return nil, err
+		base, ok := opt.cell(t, w, DefaultRunConfig(TechOoO))
+		if !ok {
+			t.AddRow(w.Name, errCell, errCell, errCell)
+			continue
 		}
-		on, err := opt.run(w, DefaultRunConfig(TechVR))
-		if err != nil {
-			return nil, err
+		heldC, withC, withoutC := errCell, errCell, errCell
+		if on, ok := opt.cell(t, w, DefaultRunConfig(TechVR)); ok {
+			heldC, withC = pct(on.HeldFrac), f(Speedup(base, on))
 		}
 		rc := DefaultRunConfig(TechVR)
 		rc.VR.DelayedTermination = false
-		off, err := opt.run(w, rc)
-		if err != nil {
-			return nil, err
+		if off, ok := opt.cell(t, w, rc); ok {
+			withoutC = f(Speedup(base, off))
 		}
-		t.AddRow(w.Name, pct(on.HeldFrac), f(Speedup(base, on)), f(Speedup(base, off)))
+		t.AddRow(w.Name, heldC, withC, withoutC)
 	}
 	return t, nil
 }

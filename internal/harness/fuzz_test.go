@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -9,6 +10,7 @@ import (
 	"vrsim/internal/isa"
 	"vrsim/internal/mem"
 	"vrsim/internal/prefetch"
+	"vrsim/internal/workloads"
 )
 
 // randomKernel generates a structured random program: a counted loop of
@@ -101,7 +103,7 @@ func runEngineFuzz(t *testing.T, p *isa.Program, init map[uint64]uint64, watch [
 	for a, v := range init {
 		dC.Store(a, v)
 	}
-	h := mem.NewHierarchy(mem.DefaultConfig())
+	h := mem.MustHierarchy(mem.DefaultConfig())
 	h.Data = dC
 	h.SetPrefetcher(prefetch.NewStreamPrefetcher(16, 4))
 	c := cpu.New(cpu.DefaultConfig(), p, dC, h)
@@ -122,6 +124,49 @@ func runEngineFuzz(t *testing.T, p *isa.Program, init map[uint64]uint64, watch [
 			t.Fatalf("mem[%#x]: core=%d interp=%d", a, g, w)
 		}
 	}
+}
+
+// FuzzConfigValidate drives arbitrary run configurations through the
+// supervised entry point. The property: no input — valid or not — may
+// escape as a panic. Invalid configurations must be rejected by Validate
+// as typed setup errors; validated ones must run (or fail) cleanly.
+func FuzzConfigValidate(f *testing.F) {
+	f.Add(5, 350, 128, 128, 72, 15, 32, 24, 32<<10, 8, 64, 8)
+	f.Add(1, 1, 1, 1, 1, 1, 1, 1, 64, 1, 1, 1)
+	f.Add(0, -3, 12, 0, 99, 2, 4, 0, 3*64, 3, 0, -5)
+	f.Add(65, 1<<21, -1, 7, 7, 2000, 9, 1<<17, 1<<20, 1<<11, 1<<13, 2)
+	f.Fuzz(func(t *testing.T, width, rob, iq, lq, sq, depth, fbuf, mshrs, l1size, l1ways, vl, lanes int) {
+		rc := DefaultRunConfig(TechVR)
+		rc.CPU.Width = width
+		rc.CPU.ROBSize = rob
+		rc.CPU.IQSize = iq
+		rc.CPU.LQSize = lq
+		rc.CPU.SQSize = sq
+		rc.CPU.FrontendDepth = depth
+		rc.CPU.FetchBufSize = fbuf
+		rc.Mem.MSHRs = mshrs
+		// Bound the geometry so a *valid* fuzzed cache stays small; the
+		// validator still sees the full range of invalid shapes.
+		rc.Mem.L1SizeBytes = l1size % (1 << 22)
+		rc.Mem.L1Ways = l1ways % (1 << 11)
+		rc.VR.VectorLength = vl
+		rc.VR.LaneWidth = lanes
+		// Keep even degenerate-but-valid machines cheap and hang-free: a
+		// 64-byte single-way L1 passes validation but runs at huge CPI, so
+		// the cycle caps must keep each execution well under a second.
+		rc.MaxBudget = 500
+		rc.WatchdogCycles = 20_000
+		rc.CPU.MaxCycles = 300_000
+
+		_, err := RunSupervised(workloads.MicroStream(256), rc)
+		if err == nil {
+			return
+		}
+		var re *RunError
+		if errors.As(err, &re) && re.Stack != nil {
+			t.Fatalf("config escaped validation and panicked: %v", err)
+		}
+	})
 }
 
 // TestFuzzEnginesMatchInterpreter: 20 random kernels, each run under no

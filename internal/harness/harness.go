@@ -58,6 +58,49 @@ type RunConfig struct {
 	// StridePrefetcher controls the always-on L1-D stream prefetcher; the
 	// paper keeps it enabled everywhere, so it defaults on.
 	DisableStridePrefetcher bool
+	// WatchdogCycles, when nonzero, overrides the core's forward-progress
+	// watchdog (see cpu.Config.WatchdogCycles).
+	WatchdogCycles uint64
+	// Faults configures deterministic fault injection in the memory
+	// system; the zero value disables it.
+	Faults mem.FaultConfig
+	// FaultInjector, when non-nil, is used instead of building a fresh
+	// injector from Faults. Sharing one injector across a campaign's runs
+	// lets its Nth-access faults land in whichever cell reaches them.
+	FaultInjector *mem.FaultInjector
+}
+
+// Validate checks every sub-configuration of the run, returning the first
+// error found (each wraps its package's ErrBadConfig). Run and
+// RunSupervised call it on entry, so invalid configurations are rejected
+// as typed errors before any construction can panic.
+func (rc *RunConfig) Validate() error {
+	switch rc.Tech {
+	case TechOoO, TechPRE, TechIMP, TechVR, TechOracle, TechRA:
+	default:
+		return fmt.Errorf("harness: unknown technique %q", rc.Tech)
+	}
+	if err := rc.CPU.Validate(); err != nil {
+		return err
+	}
+	if err := rc.Mem.Validate(); err != nil {
+		return err
+	}
+	if err := rc.VR.Validate(); err != nil {
+		return err
+	}
+	if err := rc.PRE.Validate(); err != nil {
+		return err
+	}
+	if err := rc.RA.Validate(); err != nil {
+		return err
+	}
+	if rc.Faults.Enabled() {
+		if err := rc.Faults.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // DefaultRunConfig returns the Table 1 baseline with the given technique.
@@ -111,15 +154,47 @@ type Result struct {
 	VRStats  core.VRStats
 	PREStats core.PREStats
 	RAStats  core.RAStats
+
+	// Faults reports the faults delivered when injection was enabled.
+	Faults mem.FaultStats
 }
 
-// Run executes one workload under one configuration.
-func Run(w *workloads.Workload, rc RunConfig) (Result, error) {
+// instance is one fully assembled simulation — the workload bound to a
+// core, a hierarchy and (optionally) a runahead engine. It stays
+// addressable after a failure so the supervision layer can capture a
+// machine-state snapshot for diagnosis.
+type instance struct {
+	w    *workloads.Workload
+	rc   RunConfig
+	hier *mem.Hierarchy
+	c    *cpu.Core
+	vr   *core.VR
+	pre  *core.PRE
+	ra   *core.ClassicRA
+}
+
+// newInstance validates the configuration and assembles the simulation.
+func newInstance(w *workloads.Workload, rc RunConfig) (*instance, error) {
+	if err := rc.Validate(); err != nil {
+		return nil, err
+	}
+	if rc.WatchdogCycles != 0 {
+		rc.CPU.WatchdogCycles = rc.WatchdogCycles
+	}
 	data := w.Fresh()
-	hier := mem.NewHierarchy(rc.Mem)
+	hier, err := mem.NewHierarchy(rc.Mem)
+	if err != nil {
+		return nil, err
+	}
 	hier.Data = data
 	if rc.Tech == TechOracle {
 		hier.PerfectL1 = true
+	}
+	switch {
+	case rc.FaultInjector != nil:
+		hier.Faults = rc.FaultInjector
+	case rc.Faults.Enabled():
+		hier.Faults = mem.NewFaultInjector(rc.Faults)
 	}
 
 	// Prefetchers: stride always on (unless ablated); IMP adds indirection.
@@ -139,22 +214,41 @@ func Run(w *workloads.Workload, rc RunConfig) (Result, error) {
 		}
 	}
 
-	c := cpu.New(rc.CPU, w.Prog, data, hier)
-
-	var vr *core.VR
-	var pre *core.PRE
-	var ra *core.ClassicRA
+	in := &instance{w: w, rc: rc, hier: hier}
+	in.c = cpu.New(rc.CPU, w.Prog, data, hier)
 	switch rc.Tech {
 	case TechVR:
-		vr = core.NewVR(rc.VR)
-		vr.Bind(c)
+		in.vr = core.NewVR(rc.VR)
+		in.vr.Bind(in.c)
 	case TechPRE:
-		pre = core.NewPRE(rc.PRE)
-		c.AttachEngine(pre)
+		in.pre = core.NewPRE(rc.PRE)
+		in.c.AttachEngine(in.pre)
 	case TechRA:
-		ra = core.NewClassicRA(rc.RA)
-		c.AttachEngine(ra)
+		in.ra = core.NewClassicRA(rc.RA)
+		in.c.AttachEngine(in.ra)
 	}
+	return in, nil
+}
+
+// Run executes one workload under one configuration. Invalid
+// configurations are rejected with a typed error; crashes inside the
+// simulator propagate as panics — use RunSupervised for isolation.
+func Run(w *workloads.Workload, rc RunConfig) (Result, error) {
+	in, err := newInstance(w, rc)
+	if err != nil {
+		return Result{}, fmt.Errorf("%s/%s: %w", w.Name, rc.Tech, err)
+	}
+	res, err := in.execute()
+	if err != nil {
+		return Result{}, fmt.Errorf("%s/%s: %w", w.Name, rc.Tech, err)
+	}
+	return res, nil
+}
+
+// execute runs the assembled simulation and collects its metrics.
+func (in *instance) execute() (Result, error) {
+	w, rc, c, hier := in.w, in.rc, in.c, in.hier
+	vr, pre, ra := in.vr, in.pre, in.ra
 
 	budget := rc.Budget
 	if budget == 0 {
@@ -167,13 +261,13 @@ func Run(w *workloads.Workload, rc RunConfig) (Result, error) {
 	// statistic (keeping caches, predictors and in-flight state warm).
 	if w.SkipInstrs > 0 {
 		if err := c.Run(w.SkipInstrs); err != nil {
-			return Result{}, fmt.Errorf("%s/%s (init): %w", w.Name, rc.Tech, err)
+			return Result{}, fmt.Errorf("init: %w", err)
 		}
 		c.ResetStats()
 		hier.ResetStats()
 	}
 	if err := c.Run(budget); err != nil {
-		return Result{}, fmt.Errorf("%s/%s: %w", w.Name, rc.Tech, err)
+		return Result{}, err
 	}
 
 	st := &c.Stats
@@ -221,6 +315,9 @@ func Run(w *workloads.Workload, rc RunConfig) (Result, error) {
 	}
 	if ra != nil {
 		res.RAStats = ra.Stats
+	}
+	if hier.Faults != nil {
+		res.Faults = hier.Faults.Stats
 	}
 	return res, nil
 }

@@ -45,7 +45,7 @@ func smallWorkloads() []*workloads.Workload {
 func runToCompletion(t *testing.T, w *workloads.Workload, attach func(c *cpu.Core)) *cpu.Core {
 	t.Helper()
 	data := w.Fresh()
-	h := mem.NewHierarchy(mem.DefaultConfig())
+	h := mem.MustHierarchy(mem.DefaultConfig())
 	h.Data = data
 	h.SetPrefetcher(prefetch.NewStreamPrefetcher(16, 4))
 	c := cpu.New(cpu.DefaultConfig(), w.Prog, data, h)

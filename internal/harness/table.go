@@ -14,10 +14,18 @@ type Table struct {
 	Header []string
 	Rows   [][]string
 	Notes  []string
+	// Errors collects per-cell failures from degrade-gracefully experiment
+	// drivers: each entry is one failed run's *RunError (with its machine
+	// snapshot). Rendered as a trailing summary; a non-empty list makes
+	// vrbench exit non-zero after printing everything.
+	Errors []string `json:",omitempty"`
 }
 
 // AddRow appends a row of stringified cells.
 func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// AddError records one failed cell in the table's error summary.
+func (t *Table) AddError(err error) { t.Errors = append(t.Errors, err.Error()) }
 
 // String renders the table as aligned text.
 func (t *Table) String() string {
@@ -31,6 +39,12 @@ func (t *Table) String() string {
 	tw.Flush()
 	for _, n := range t.Notes {
 		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	if len(t.Errors) > 0 {
+		fmt.Fprintf(&sb, "errors (%d cells failed; means cover survivors):\n", len(t.Errors))
+		for _, e := range t.Errors {
+			fmt.Fprintf(&sb, "  ! %s\n", e)
+		}
 	}
 	return sb.String()
 }

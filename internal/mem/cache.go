@@ -55,19 +55,21 @@ type Cache struct {
 
 // NewCache builds a cache of sizeBytes with the given associativity and
 // access latency in cycles. sizeBytes must be a multiple of ways*LineSize
-// and the resulting set count must be a power of two.
-func NewCache(name string, sizeBytes, ways int, latency uint64) *Cache {
-	sets := sizeBytes / (ways * LineSize)
-	if sets <= 0 || sets&(sets-1) != 0 {
-		panic("mem: cache set count must be a positive power of two")
+// and the resulting set count must be a power of two; invalid geometries
+// are reported as an error wrapping ErrBadConfig rather than a panic, so
+// campaign drivers can reject a bad configuration and keep going.
+func NewCache(name string, sizeBytes, ways int, latency uint64) (*Cache, error) {
+	if err := validateCacheGeometry(name, sizeBytes, ways, latency); err != nil {
+		return nil, err
 	}
+	sets := sizeBytes / (ways * LineSize)
 	return &Cache{
 		name:    name,
 		sets:    sets,
 		ways:    ways,
 		latency: latency,
 		lines:   make([]cacheLine, sets*ways),
-	}
+	}, nil
 }
 
 // Name returns the cache's display name.

@@ -104,6 +104,11 @@ type Hierarchy struct {
 	// timeliness.
 	PerfectL1 bool
 
+	// Faults, when non-nil, injects deterministic faults (latency spikes,
+	// dropped prefetches, forced MSHR exhaustion, hangs, panics) into the
+	// access paths; see FaultConfig.
+	Faults *FaultInjector
+
 	pf Prefetcher
 
 	Stats HierStats
@@ -168,15 +173,41 @@ func DefaultConfig() Config {
 	}
 }
 
-// NewHierarchy builds a hierarchy from the configuration.
-func NewHierarchy(cfg Config) *Hierarchy {
+// NewHierarchy builds a hierarchy from the configuration, rejecting
+// invalid parameters with an error wrapping ErrBadConfig.
+func NewHierarchy(cfg Config) (*Hierarchy, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	l1, err := NewCache("L1-D", cfg.L1SizeBytes, cfg.L1Ways, cfg.L1Latency)
+	if err != nil {
+		return nil, err
+	}
+	l2, err := NewCache("L2", cfg.L2SizeBytes, cfg.L2Ways, cfg.L2Latency)
+	if err != nil {
+		return nil, err
+	}
+	l3, err := NewCache("L3", cfg.L3SizeBytes, cfg.L3Ways, cfg.L3Latency)
+	if err != nil {
+		return nil, err
+	}
 	return &Hierarchy{
-		L1D:  NewCache("L1-D", cfg.L1SizeBytes, cfg.L1Ways, cfg.L1Latency),
-		L2:   NewCache("L2", cfg.L2SizeBytes, cfg.L2Ways, cfg.L2Latency),
-		L3:   NewCache("L3", cfg.L3SizeBytes, cfg.L3Ways, cfg.L3Latency),
+		L1D:  l1,
+		L2:   l2,
+		L3:   l3,
 		MSHR: NewMSHRFile(cfg.MSHRs),
 		DRAM: NewDRAM(cfg.CoreGHz, cfg.DRAMMinNS, cfg.DRAMGBs),
+	}, nil
+}
+
+// MustHierarchy builds a hierarchy from a configuration known to be good
+// (static defaults in tools and tests), panicking on validation errors.
+func MustHierarchy(cfg Config) *Hierarchy {
+	h, err := NewHierarchy(cfg)
+	if err != nil {
+		panic(err)
 	}
+	return h
 }
 
 // SetPrefetcher attaches the hardware prefetcher trained by demand traffic.
@@ -189,6 +220,9 @@ func Line(addr uint64) uint64 { return addr / LineSize }
 // memory operation (used to train prefetchers); src identifies the engine
 // for prefetch-class and runahead-class accesses (ignored for demand).
 func (h *Hierarchy) Access(cycle uint64, pc int, addr uint64, isWrite bool, class Class, src PrefetchSource) Result {
+	if h.Faults != nil && class == ClassDemand {
+		h.Faults.onDemandAccess()
+	}
 	line := Line(addr)
 	res := h.accessLine(cycle, line, isWrite, class, src)
 
@@ -274,6 +308,10 @@ func (h *Hierarchy) accessLine(cycle uint64, line uint64, isWrite bool, class Cl
 	// (they are generated by the miss stream itself).
 	var start uint64
 	if class == ClassHWPrefetch {
+		if h.Faults != nil && h.Faults.dropPrefetch() {
+			h.Stats.PrefetchDropped++
+			return Result{Dropped: true}
+		}
 		if !h.MSHR.TryAcquire(cycle) {
 			h.Stats.PrefetchDropped++
 			return Result{Dropped: true}
@@ -281,6 +319,9 @@ func (h *Hierarchy) accessLine(cycle uint64, line uint64, isWrite bool, class Cl
 		start = cycle
 	} else {
 		start = h.MSHR.Acquire(cycle + h.L1D.Latency())
+		if h.Faults != nil {
+			start += h.Faults.starveCycles()
+		}
 	}
 
 	fillSource := src
@@ -312,11 +353,17 @@ func (h *Hierarchy) accessLine(cycle uint64, line uint64, isWrite bool, class Cl
 		} else {
 			h.L3.Misses++
 			done = h.DRAM.Access(start + h.L2.Latency() + h.L3.Latency())
+			if h.Faults != nil {
+				done += h.Faults.dramExtra()
+			}
 			lvl = AtMem
 			h.Stats.OffChipBySource[src]++
 			h.L3.Insert(line, isWrite, fillSource)
 		}
 		h.L2.Insert(line, isWrite, fillSource)
+	}
+	if h.Faults != nil {
+		done += h.Faults.missExtra(class)
 	}
 	done += h.L1D.Latency() // fill into L1 and bypass to the requester
 	h.MSHR.Complete(line, start, done, src)

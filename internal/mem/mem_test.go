@@ -1,9 +1,20 @@
 package mem
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 )
+
+// mustCache builds a cache for tests whose geometry is known-good.
+func mustCache(t *testing.T, name string, sizeBytes, ways int, latency uint64) *Cache {
+	t.Helper()
+	c, err := NewCache(name, sizeBytes, ways, latency)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
 
 func TestBackingRoundTrip(t *testing.T) {
 	b := NewBacking()
@@ -51,7 +62,7 @@ func TestBackingProperty(t *testing.T) {
 }
 
 func TestCacheHitMiss(t *testing.T) {
-	c := NewCache("t", 4*64*2, 2, 4) // 4 sets, 2 ways
+	c := mustCache(t, "t", 4*64*2, 2, 4) // 4 sets, 2 ways
 	if _, _, hit := c.Lookup(10, false); hit {
 		t.Fatal("empty cache should miss")
 	}
@@ -65,7 +76,7 @@ func TestCacheHitMiss(t *testing.T) {
 }
 
 func TestCacheLRUEviction(t *testing.T) {
-	c := NewCache("t", 1*64*2, 2, 4) // 1 set, 2 ways
+	c := mustCache(t, "t", 1*64*2, 2, 4) // 1 set, 2 ways
 	c.Insert(1, false, SrcDemand)
 	c.Insert(2, false, SrcDemand)
 	c.Lookup(1, false) // make line 1 MRU
@@ -79,7 +90,7 @@ func TestCacheLRUEviction(t *testing.T) {
 }
 
 func TestCacheDirtyEviction(t *testing.T) {
-	c := NewCache("t", 1*64*2, 2, 4)
+	c := mustCache(t, "t", 1*64*2, 2, 4)
 	c.Insert(1, true, SrcDemand) // dirty
 	c.Insert(2, false, SrcDemand)
 	_, _, dirty := c.Insert(3, false, SrcDemand) // evicts line 1 (LRU)
@@ -92,7 +103,7 @@ func TestCacheDirtyEviction(t *testing.T) {
 }
 
 func TestCachePrefetchUnusedAccounting(t *testing.T) {
-	c := NewCache("t", 1*64*2, 2, 4)
+	c := mustCache(t, "t", 1*64*2, 2, 4)
 	c.Insert(1, false, SrcStride) // prefetched, never used
 	c.Insert(2, false, SrcDemand)
 	c.Insert(3, false, SrcDemand) // evicts line 1
@@ -116,7 +127,7 @@ func TestCachePrefetchUnusedAccounting(t *testing.T) {
 }
 
 func TestCacheInvalidate(t *testing.T) {
-	c := NewCache("t", 2*64*2, 2, 4)
+	c := mustCache(t, "t", 2*64*2, 2, 4)
 	c.Insert(5, true, SrcDemand)
 	if dirty, present := c.Invalidate(5); !present || !dirty {
 		t.Error("invalidate of dirty line misreported")
@@ -130,12 +141,15 @@ func TestCacheInvalidate(t *testing.T) {
 }
 
 func TestCacheBadGeometry(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic for non-power-of-two sets")
-		}
-	}()
-	NewCache("bad", 3*64, 1, 1)
+	if _, err := NewCache("bad", 3*64, 1, 1); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("non-power-of-two sets: err = %v, want ErrBadConfig", err)
+	}
+	if _, err := NewCache("bad", 0, 1, 1); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("zero size: err = %v, want ErrBadConfig", err)
+	}
+	if _, err := NewCache("bad", 4*64*2, 0, 4); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("zero ways: err = %v, want ErrBadConfig", err)
+	}
 }
 
 func TestDRAMBandwidthQueueing(t *testing.T) {
@@ -222,7 +236,7 @@ func TestMSHROccupancyIntegral(t *testing.T) {
 
 func newTestHierarchy() *Hierarchy {
 	cfg := DefaultConfig()
-	return NewHierarchy(cfg)
+	return MustHierarchy(cfg)
 }
 
 func TestHierarchyMissThenHit(t *testing.T) {
@@ -336,7 +350,7 @@ func TestHierarchyPrefetchDuplicatesDropped(t *testing.T) {
 func TestHierarchyPrefetchDroppedWhenMSHRsFull(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.MSHRs = 1
-	h := NewHierarchy(cfg)
+	h := MustHierarchy(cfg)
 	h.Access(0, 1, 0x30000, false, ClassDemand, SrcDemand) // occupies the MSHR
 	r := h.Prefetch(1, 0x40000, SrcStride)
 	if !r.Dropped {
@@ -350,7 +364,7 @@ func TestHierarchyPrefetchDroppedWhenMSHRsFull(t *testing.T) {
 func TestHierarchyRunaheadClassWaitsAndCounts(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.MSHRs = 1
-	h := NewHierarchy(cfg)
+	h := MustHierarchy(cfg)
 	r1 := h.Access(0, 1, 0x30000, false, ClassDemand, SrcDemand)
 	r2 := h.Access(1, 2, 0x40000, false, ClassRunahead, SrcRunahead)
 	if r2.Done <= r1.Done {

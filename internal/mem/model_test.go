@@ -51,7 +51,10 @@ func (r *refCache) insert(line uint64) (victim uint64, evicted bool) {
 // with the same random operation stream and requires identical outcomes.
 func TestCacheAgainstModel(t *testing.T) {
 	const sets, ways = 8, 4
-	c := NewCache("model", sets*ways*LineSize, ways, 1)
+	c, err := NewCache("model", sets*ways*LineSize, ways, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ref := newRefCache(sets, ways)
 	rng := rand.New(rand.NewSource(77))
 
@@ -126,7 +129,7 @@ func TestMSHRCapacityInvariant(t *testing.T) {
 // TestHierarchyInclusionOnFills: after a demand miss fills, the line is
 // present at every level (fills propagate downward).
 func TestHierarchyInclusionOnFills(t *testing.T) {
-	h := NewHierarchy(DefaultConfig())
+	h := MustHierarchy(DefaultConfig())
 	rng := rand.New(rand.NewSource(3))
 	cycle := uint64(0)
 	for i := 0; i < 2_000; i++ {

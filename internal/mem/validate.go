@@ -1,0 +1,67 @@
+package mem
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBadConfig is wrapped by every configuration-validation failure in
+// this package; callers reject invalid hierarchies with errors.Is instead
+// of recovering panics from deep inside construction.
+var ErrBadConfig = errors.New("mem: invalid configuration")
+
+// Guard rails for fuzzed and externally supplied configurations: a config
+// inside these bounds can always be constructed without exhausting memory.
+const (
+	maxCacheBytes = 1 << 30 // 1 GiB per level
+	maxCacheWays  = 1 << 10
+	maxMSHRs      = 1 << 16
+)
+
+func validateCacheGeometry(name string, sizeBytes, ways int, latency uint64) error {
+	if ways <= 0 || ways > maxCacheWays {
+		return fmt.Errorf("%w: cache %s: associativity %d out of range [1,%d]", ErrBadConfig, name, ways, maxCacheWays)
+	}
+	if sizeBytes <= 0 || sizeBytes > maxCacheBytes {
+		return fmt.Errorf("%w: cache %s: size %d out of range [1,%d]", ErrBadConfig, name, sizeBytes, maxCacheBytes)
+	}
+	if sizeBytes%(ways*LineSize) != 0 {
+		return fmt.Errorf("%w: cache %s: size %d is not a multiple of ways(%d)*line(%d)", ErrBadConfig, name, sizeBytes, ways, LineSize)
+	}
+	sets := sizeBytes / (ways * LineSize)
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("%w: cache %s: set count %d is not a power of two", ErrBadConfig, name, sets)
+	}
+	if latency == 0 {
+		return fmt.Errorf("%w: cache %s: zero access latency", ErrBadConfig, name)
+	}
+	return nil
+}
+
+// Validate checks the hierarchy configuration, returning an error wrapping
+// ErrBadConfig for the first problem found. NewHierarchy calls it, so a
+// config that validates always constructs.
+func (c Config) Validate() error {
+	if err := validateCacheGeometry("L1-D", c.L1SizeBytes, c.L1Ways, c.L1Latency); err != nil {
+		return err
+	}
+	if err := validateCacheGeometry("L2", c.L2SizeBytes, c.L2Ways, c.L2Latency); err != nil {
+		return err
+	}
+	if err := validateCacheGeometry("L3", c.L3SizeBytes, c.L3Ways, c.L3Latency); err != nil {
+		return err
+	}
+	if c.MSHRs <= 0 || c.MSHRs > maxMSHRs {
+		return fmt.Errorf("%w: MSHR count %d out of range [1,%d]", ErrBadConfig, c.MSHRs, maxMSHRs)
+	}
+	if !(c.CoreGHz > 0) {
+		return fmt.Errorf("%w: core clock %v GHz must be positive", ErrBadConfig, c.CoreGHz)
+	}
+	if c.DRAMMinNS < 0 {
+		return fmt.Errorf("%w: DRAM min latency %v ns must be non-negative", ErrBadConfig, c.DRAMMinNS)
+	}
+	if !(c.DRAMGBs > 0) {
+		return fmt.Errorf("%w: DRAM bandwidth %v GB/s must be positive", ErrBadConfig, c.DRAMGBs)
+	}
+	return nil
+}

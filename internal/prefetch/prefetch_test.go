@@ -90,7 +90,7 @@ func TestStrideTableConvergenceProperty(t *testing.T) {
 }
 
 func newHier() (*mem.Hierarchy, *mem.Backing) {
-	h := mem.NewHierarchy(mem.DefaultConfig())
+	h := mem.MustHierarchy(mem.DefaultConfig())
 	b := mem.NewBacking()
 	h.Data = b
 	return h, b

@@ -66,6 +66,22 @@ func WorkloadNames() []string { return workloads.Names() }
 // Run simulates a workload under a configuration.
 func Run(w *WorkloadSpec, cfg Config) (Result, error) { return harness.Run(w, cfg) }
 
+// RunSupervised simulates with crash isolation: an invalid configuration,
+// a panic anywhere inside the simulator, or a tripped forward-progress
+// watchdog comes back as a *RunError carrying a machine-state snapshot
+// instead of crashing or hanging the caller. On success it is exactly Run.
+func RunSupervised(w *WorkloadSpec, cfg Config) (Result, error) {
+	return harness.RunSupervised(w, cfg)
+}
+
+// RunError is the structured failure a supervised run produces.
+type RunError = harness.RunError
+
+// FaultConfig describes deterministic fault injection in the memory
+// system (seeded latency spikes, dropped prefetches, MSHR exhaustion,
+// targeted hangs/panics); set it on Config.Faults to chaos-test a run.
+type FaultConfig = mem.FaultConfig
+
 // Speedup returns r's performance normalized to base (CPI ratio).
 func Speedup(base, r Result) float64 { return harness.Speedup(base, r) }
 
