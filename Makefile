@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench
+.PHONY: build test lint check bench
 
 build:
 	$(GO) build ./...
@@ -8,10 +8,19 @@ build:
 test:
 	$(GO) test ./...
 
+# vrlint enforces the simulator's static invariants (determinism,
+# panic-freedom, cycle-counter safety, validate-before-run); see
+# DESIGN.md "Static invariants". Runs standalone here; it also speaks
+# the vet -vettool protocol:
+#   go build -o bin/vrlint ./cmd/vrlint && go vet -vettool=bin/vrlint ./...
+lint:
+	$(GO) run ./cmd/vrlint ./...
+
 # The full verification gate: static checks, a clean build, and the test
 # suite under the race detector.
 check:
 	$(GO) vet ./...
+	$(GO) run ./cmd/vrlint ./...
 	$(GO) build ./...
 	$(GO) test -race ./...
 

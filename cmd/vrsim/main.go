@@ -63,6 +63,11 @@ func main() {
 		rc.VR.MaxHoldCycles = *maxHold
 	}
 
+	if err := rc.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
 	t0 := time.Now()
 	r, err := harness.Run(w, rc)
 	if err != nil {

@@ -43,19 +43,28 @@ func main() {
 		return
 	}
 
+	cpuCfg, memCfg := cpu.DefaultConfig(), mem.DefaultConfig()
+	vrCfg, preCfg := core.DefaultVRConfig(), core.DefaultPREConfig()
+	for _, err := range []error{cpuCfg.Validate(), memCfg.Validate(), vrCfg.Validate(), preCfg.Validate()} {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
 	data := w.Fresh()
-	hier := mem.MustHierarchy(mem.DefaultConfig())
+	hier := mem.MustHierarchy(memCfg)
 	hier.Data = data
 	hier.SetPrefetcher(prefetch.NewStreamPrefetcher(16, 4))
-	c := cpu.New(cpu.DefaultConfig(), w.Prog, data, hier)
+	c := cpu.New(cpuCfg, w.Prog, data, hier)
 
 	var vr *core.VR
 	switch harness.Technique(*tech) {
 	case harness.TechVR:
-		vr = core.NewVR(core.DefaultVRConfig())
+		vr = core.NewVR(vrCfg)
 		vr.Bind(c)
 	case harness.TechPRE:
-		c.AttachEngine(core.NewPRE(core.DefaultPREConfig()))
+		c.AttachEngine(core.NewPRE(preCfg))
 	case harness.TechOoO:
 	default:
 		fmt.Fprintf(os.Stderr, "vrtrace: unsupported technique %q\n", *tech)

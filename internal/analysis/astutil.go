@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// EnclosingFuncDecl returns the function declaration containing pos, or
+// nil when pos sits at package level.
+func EnclosingFuncDecl(files []*ast.File, pos token.Pos) *ast.FuncDecl {
+	for _, f := range files {
+		if pos < f.Pos() || pos > f.End() {
+			continue
+		}
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Pos() <= pos && pos <= fd.End() {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+// PathTo returns the chain of nodes from root down to the node n
+// (inclusive), or nil if n is not under root. It is the parent chain the
+// guard-detection logic in cyclesafe walks.
+func PathTo(root ast.Node, n ast.Node) []ast.Node {
+	var path []ast.Node
+	var found bool
+	ast.Inspect(root, func(node ast.Node) bool {
+		if found || node == nil {
+			return false
+		}
+		if node.Pos() > n.End() || node.End() < n.Pos() {
+			return false
+		}
+		path = append(path, node)
+		if node == n {
+			found = true
+			return false
+		}
+		return true
+	})
+	if !found {
+		return nil
+	}
+	// Trim siblings visited after backtracking: keep only ancestors of n.
+	var out []ast.Node
+	for _, node := range path {
+		if node.Pos() <= n.Pos() && n.End() <= node.End() {
+			out = append(out, node)
+		}
+	}
+	return out
+}
+
+// FuncObj resolves the called function object of a call expression, or
+// nil for builtins, conversions and indirect calls.
+func FuncObj(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// CalleeName returns the bare name of a call's callee for both f(...) and
+// x.f(...) shapes, or "".
+func CalleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// IsErrorType reports whether t is the built-in error interface.
+func IsErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// RootIdent peels selectors, indexing, stars and parens down to the
+// leftmost identifier of an lvalue-ish expression, or nil.
+func RootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,118 @@
+// Package cfgflow enforces the configuration-flow invariant from PR 1:
+// every path that assembles or runs a simulation must validate its
+// configuration first. Concretely, a call to harness.Run or to one of the
+// engine constructors (cpu.New, core.NewVR, core.NewPRE, core.NewClassicRA)
+// must be dominated by a Validate() call in the same function, or the
+// caller must go through harness.RunSupervised, which validates on entry.
+//
+// The dominance check is syntactic: some call to a method or function
+// named Validate must appear earlier in the enclosing function than the
+// guarded call. Thin forwarding wrappers whose callee validates on entry
+// carry a `//vrlint:allow cfgflow -- reason` annotation.
+package cfgflow
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"vrsim/internal/analysis"
+)
+
+// Analyzer is the cfgflow pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "cfgflow",
+	Doc:  "harness.Run and engine constructors must be preceded by Validate() or reached via RunSupervised",
+	Run:  run,
+}
+
+// guardedCall describes one function whose invocation requires prior
+// validation: the suffix of the defining package's import path and the
+// function name.
+type guardedCall struct {
+	pkgSuffix string
+	name      string
+}
+
+var guardedCalls = []guardedCall{
+	{"internal/harness", "Run"},
+	{"internal/cpu", "New"},
+	{"internal/core", "NewVR"},
+	{"internal/core", "NewPRE"},
+	{"internal/core", "NewClassicRA"},
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		file := f
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			target := guardedTarget(pass, call)
+			if target == "" {
+				return true
+			}
+			fd := analysis.EnclosingFuncDecl([]*ast.File{file}, call.Pos())
+			if fd == nil || !validatedBefore(fd, call.Pos()) {
+				pass.Reportf(call.Pos(), "call to %s without a dominating Validate() call; validate the configuration first or go through harness.RunSupervised", target)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// guardedTarget returns a display name when call targets one of the
+// guarded functions, or "".
+func guardedTarget(pass *analysis.Pass, call *ast.CallExpr) string {
+	fn := analysis.FuncObj(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	path := fn.Pkg().Path()
+	for _, g := range guardedCalls {
+		if fn.Name() != g.name {
+			continue
+		}
+		if path == g.pkgSuffix || strings.HasSuffix(path, "/"+g.pkgSuffix) {
+			// Calls within the defining package itself (e.g. harness.Run
+			// invoked by RunSupervised's helpers) are the implementation,
+			// not a client entry: the validation lives inside.
+			if pass.Pkg.Path() == path {
+				return ""
+			}
+			return shortPkg(path) + "." + fn.Name()
+		}
+	}
+	return ""
+}
+
+func shortPkg(path string) string {
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// validatedBefore reports whether some Validate() call appears in fd at a
+// position before pos.
+func validatedBefore(fd *ast.FuncDecl, pos token.Pos) bool {
+	found := false
+	ast.Inspect(fd, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() >= pos {
+			return true
+		}
+		if analysis.CalleeName(call) == "Validate" {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,14 @@
+package cfgflow_test
+
+import (
+	"testing"
+
+	"vrsim/internal/analysis/analysistest"
+	"vrsim/internal/analysis/cfgflow"
+)
+
+func TestCfgflow(t *testing.T) {
+	// The stub harness package is analyzed too: its internal Run calls
+	// exercise the same-package exemption and must stay silent.
+	analysistest.Run(t, cfgflow.Analyzer, "a", "vrsim/internal/harness")
+}

@@ -1,0 +1,14 @@
+// Package core stubs the runahead-engine constructors for cfgflow tests.
+package core
+
+type VR struct{}
+
+func NewVR() *VR { return &VR{} }
+
+type PRE struct{}
+
+func NewPRE() *PRE { return &PRE{} }
+
+type ClassicRA struct{}
+
+func NewClassicRA() *ClassicRA { return &ClassicRA{} }

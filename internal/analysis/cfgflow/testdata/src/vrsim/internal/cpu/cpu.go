@@ -1,0 +1,6 @@
+// Package cpu stubs the core constructor for cfgflow tests.
+package cpu
+
+type Core struct{ rob int }
+
+func New(rob int) *Core { return &Core{rob: rob} }

@@ -1,0 +1,23 @@
+// Package harness stubs the real harness API surface for cfgflow tests.
+package harness
+
+type Config struct{ ROB int }
+
+func (c *Config) Validate() error { return nil }
+
+type Result struct{ Cycles uint64 }
+
+func Run(cfg *Config) (Result, error) { return Result{}, nil }
+
+// RunSupervised validates on entry, so clients that route through it need
+// no Validate of their own.
+func RunSupervised(cfg *Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	return Run(cfg)
+}
+
+// rerun shows the same-package exemption: the implementation may call Run
+// internally without tripping the pass.
+func rerun(cfg *Config) (Result, error) { return Run(cfg) }

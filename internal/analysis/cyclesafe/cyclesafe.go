@@ -1,0 +1,240 @@
+// Package cyclesafe guards the cycle/stat accounting arithmetic. The
+// simulator's cycle counters and statistics are uint64 (core.Stats, the
+// cpu core fields, the memory-system counters); two operations on them
+// silently corrupt results rather than failing:
+//
+//   - converting a counter to a signed or narrower integer type, which
+//     truncates or flips sign exactly when runs get long enough to
+//     matter;
+//   - subtracting two counters without an ordering guard — unsigned
+//     subtraction wraps on underflow, turning an off-by-one in event
+//     ordering into a ~2^64 latency that skews every derived metric.
+//
+// A subtraction is considered guarded when an enclosing if/for condition
+// (or a preceding early-exit) establishes the operands' ordering.
+// Conversions to float64 (ratio reporting) and to uint64 are allowed.
+// Provably-ordered cases that need no guard carry a
+// `//vrlint:allow cyclesafe -- reason` annotation.
+package cyclesafe
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"vrsim/internal/analysis"
+	"vrsim/internal/analysis/simdet"
+)
+
+// Analyzer is the cyclesafe pass.
+var Analyzer = &analysis.Analyzer{
+	Name:  "cyclesafe",
+	Doc:   "flag sign-changing/narrowing conversions and unguarded subtraction on cycle/stats counters",
+	Scope: simdet.InSimulatorPackage,
+	Run:   run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		file := f
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkConversion(pass, n)
+			case *ast.BinaryExpr:
+				if n.Op == token.SUB {
+					checkSubtraction(pass, file, n)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isCounter reports whether e denotes a cycle/stats counter: a struct
+// field of unsigned integer type that either lives in a *Stats* struct or
+// has "cycle" in its name, or a plain variable of unsigned integer type
+// named like a cycle count.
+func isCounter(pass *analysis.Pass, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	switch x := e.(type) {
+	case *ast.SelectorExpr:
+		sel, ok := pass.Info.Selections[x]
+		if !ok || sel.Kind() != types.FieldVal {
+			return false
+		}
+		field := sel.Obj()
+		if !isUnsignedInt(field.Type()) {
+			return false
+		}
+		if strings.Contains(strings.ToLower(field.Name()), "cycle") {
+			return true
+		}
+		recv := sel.Recv()
+		if p, ok := recv.(*types.Pointer); ok {
+			recv = p.Elem()
+		}
+		if named, ok := recv.(*types.Named); ok {
+			return strings.Contains(named.Obj().Name(), "Stats")
+		}
+		return false
+	case *ast.Ident:
+		obj := pass.Info.Uses[x]
+		if obj == nil {
+			obj = pass.Info.Defs[x]
+		}
+		v, ok := obj.(*types.Var)
+		if !ok {
+			return false
+		}
+		return isUnsignedInt(v.Type()) && strings.Contains(strings.ToLower(v.Name()), "cycle")
+	}
+	return false
+}
+
+func isUnsignedInt(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsUnsigned != 0
+}
+
+// checkConversion flags T(counter) when T is a signed integer or a
+// narrower unsigned integer.
+func checkConversion(pass *analysis.Pass, call *ast.CallExpr) {
+	tv, ok := pass.Info.Types[call.Fun]
+	if !ok || !tv.IsType() || len(call.Args) != 1 {
+		return
+	}
+	if !isCounter(pass, call.Args[0]) {
+		return
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok {
+		return
+	}
+	info := b.Info()
+	switch {
+	case info&types.IsInteger != 0 && info&types.IsUnsigned == 0:
+		pass.Reportf(call.Pos(), "conversion of counter %s to signed %s flips sign for large counts; keep counters unsigned", types.ExprString(call.Args[0]), b.Name())
+	case b.Kind() == types.Uint8 || b.Kind() == types.Uint16 || b.Kind() == types.Uint32:
+		pass.Reportf(call.Pos(), "narrowing conversion of counter %s to %s truncates long runs", types.ExprString(call.Args[0]), b.Name())
+	}
+}
+
+// checkSubtraction flags a - b on unsigned counters unless an ordering
+// guard dominates it.
+func checkSubtraction(pass *analysis.Pass, f *ast.File, sub *ast.BinaryExpr) {
+	tv, ok := pass.Info.Types[sub]
+	if !ok || !isUnsignedInt(tv.Type) {
+		return
+	}
+	if !isCounter(pass, sub.X) && !isCounter(pass, sub.Y) {
+		return
+	}
+	fd := analysis.EnclosingFuncDecl([]*ast.File{f}, sub.Pos())
+	if fd != nil && orderingGuarded(pass, fd, sub) {
+		return
+	}
+	pass.Reportf(sub.Pos(), "unsigned counter subtraction %s - %s wraps silently on underflow; guard with an ordering check (e.g. if %s >= %s)",
+		types.ExprString(sub.X), types.ExprString(sub.Y), types.ExprString(sub.X), types.ExprString(sub.Y))
+}
+
+// orderingGuarded reports whether the subtraction's operands have a
+// dominating ordering guard: an enclosing if/for whose condition ensures
+// X >= Y (or an else-branch of the inverse), or an earlier early-exit
+// statement in an enclosing block that returns/branches when X < Y.
+func orderingGuarded(pass *analysis.Pass, fd *ast.FuncDecl, sub *ast.BinaryExpr) bool {
+	a := types.ExprString(ast.Unparen(sub.X))
+	b := types.ExprString(ast.Unparen(sub.Y))
+	path := analysis.PathTo(fd, sub)
+	if path == nil {
+		return false
+	}
+	within := func(n ast.Node) bool {
+		return n != nil && n.Pos() <= sub.Pos() && sub.End() <= n.End()
+	}
+	for i, n := range path {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			// Short-circuit guard: `a >= b && ... a-b ...` evaluates the
+			// subtraction only after the ordering holds.
+			if n.Op == token.LAND && within(n.Y) && condEnsures(n.X, a, b) {
+				return true
+			}
+		case *ast.IfStmt:
+			if within(n.Body) && condEnsures(n.Cond, a, b) {
+				return true
+			}
+			if n.Else != nil && within(n.Else) && condEnsures(n.Cond, b, a) {
+				return true
+			}
+		case *ast.ForStmt:
+			if within(n.Body) && n.Cond != nil && condEnsures(n.Cond, a, b) {
+				return true
+			}
+		case *ast.BlockStmt:
+			// Early-exit pattern: a preceding `if a < b { return/... }`.
+			if i+1 >= len(path) {
+				continue
+			}
+			next := path[i+1]
+			for _, stmt := range n.List {
+				if stmt == next {
+					break
+				}
+				ifs, ok := stmt.(*ast.IfStmt)
+				if !ok || !terminates(ifs.Body) {
+					continue
+				}
+				// The branch exits when b >(=) a, so falling through to the
+				// subtraction establishes a >= b.
+				if condEnsures(ifs.Cond, b, a) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// condEnsures reports whether cond guarantees hi >= lo when it holds,
+// considering &&-conjunctions of comparisons (textual operand match).
+func condEnsures(cond ast.Expr, hi, lo string) bool {
+	cond = ast.Unparen(cond)
+	be, ok := cond.(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	if be.Op == token.LAND {
+		return condEnsures(be.X, hi, lo) || condEnsures(be.Y, hi, lo)
+	}
+	x := types.ExprString(ast.Unparen(be.X))
+	y := types.ExprString(ast.Unparen(be.Y))
+	switch be.Op {
+	case token.GEQ, token.GTR:
+		return x == hi && y == lo
+	case token.LEQ, token.LSS:
+		return x == lo && y == hi
+	}
+	return false
+}
+
+// terminates reports whether the block unconditionally leaves the
+// enclosing flow: its last statement is a return, branch, or panic.
+func terminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}

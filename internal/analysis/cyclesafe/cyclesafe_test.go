@@ -1,0 +1,12 @@
+package cyclesafe_test
+
+import (
+	"testing"
+
+	"vrsim/internal/analysis/analysistest"
+	"vrsim/internal/analysis/cyclesafe"
+)
+
+func TestCyclesafe(t *testing.T) {
+	analysistest.Run(t, cyclesafe.Analyzer, "a")
+}

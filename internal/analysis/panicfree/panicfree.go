@@ -1,0 +1,127 @@
+// Package panicfree enforces the panic discipline PR 1 introduced:
+// simulator failures must surface as typed errors (wrapped ErrBadConfig,
+// *RunError) that the supervision layer can classify, not as raw panics.
+//
+// It flags:
+//
+//   - panic(...) calls outside Must* helpers and init functions. The two
+//     sanctioned escape hatches — documented Must* constructors for
+//     statically-correct configurations, and the fault injector's
+//     on-demand crash — either satisfy the naming rule or carry a
+//     `//vrlint:allow panicfree -- reason` annotation;
+//   - discarded errors from Validate(), NewCache and NewHierarchy: a
+//     configuration whose validation error is dropped reaches the
+//     simulator unvalidated and fails later as a panic or a hang.
+package panicfree
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"vrsim/internal/analysis"
+)
+
+// Analyzer is the panicfree pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "panicfree",
+	Doc:  "panic only in Must* helpers or init; never discard errors from Validate/NewCache/NewHierarchy",
+	Run:  run,
+}
+
+// mustCheck names the error-returning constructors/validators whose
+// results must not be discarded.
+var mustCheck = map[string]bool{
+	"Validate":     true,
+	"NewCache":     true,
+	"NewHierarchy": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkPanic(pass, f, n)
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					checkDiscarded(pass, call)
+				}
+			case *ast.AssignStmt:
+				checkBlankError(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// panicAllowed reports whether fd may legitimately contain panic calls.
+func panicAllowed(fd *ast.FuncDecl) bool {
+	if fd == nil {
+		return false // package-level initializer expression
+	}
+	name := fd.Name.Name
+	return strings.HasPrefix(name, "Must") || (name == "init" && fd.Recv == nil)
+}
+
+func checkPanic(pass *analysis.Pass, f *ast.File, call *ast.CallExpr) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "panic" {
+		return
+	}
+	if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); !isBuiltin {
+		return
+	}
+	if panicAllowed(analysis.EnclosingFuncDecl([]*ast.File{f}, call.Pos())) {
+		return
+	}
+	pass.Reportf(call.Pos(), "panic outside a Must* helper or init; return a typed error (or annotate %s panicfree with a justification)", analysis.AllowPrefix)
+}
+
+// errorResult returns the index of the error result in the callee's
+// signature, or -1 when the call is not one that must be checked.
+func errorResult(pass *analysis.Pass, call *ast.CallExpr) int {
+	name := analysis.CalleeName(call)
+	if !mustCheck[name] {
+		return -1
+	}
+	fn := analysis.FuncObj(pass.Info, call)
+	if fn == nil {
+		return -1
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return -1
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if analysis.IsErrorType(sig.Results().At(i).Type()) {
+			return i
+		}
+	}
+	return -1
+}
+
+func checkDiscarded(pass *analysis.Pass, call *ast.CallExpr) {
+	if errorResult(pass, call) < 0 {
+		return
+	}
+	pass.Reportf(call.Pos(), "result of %s is discarded; the error must be checked so invalid configurations fail as typed errors", analysis.CalleeName(call))
+}
+
+func checkBlankError(pass *analysis.Pass, as *ast.AssignStmt) {
+	if len(as.Rhs) != 1 {
+		return
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	idx := errorResult(pass, call)
+	if idx < 0 || idx >= len(as.Lhs) {
+		return
+	}
+	if id, ok := as.Lhs[idx].(*ast.Ident); ok && id.Name == "_" {
+		pass.Reportf(as.Pos(), "error from %s assigned to _; the error must be checked so invalid configurations fail as typed errors", analysis.CalleeName(call))
+	}
+}

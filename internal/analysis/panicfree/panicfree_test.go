@@ -1,0 +1,12 @@
+package panicfree_test
+
+import (
+	"testing"
+
+	"vrsim/internal/analysis/analysistest"
+	"vrsim/internal/analysis/panicfree"
+)
+
+func TestPanicfree(t *testing.T) {
+	analysistest.Run(t, panicfree.Analyzer, "a")
+}

@@ -1,0 +1,79 @@
+// Package a is panicfree golden testdata.
+package a
+
+import "errors"
+
+// ErrBad mimics a typed configuration error sentinel.
+var ErrBad = errors.New("bad config")
+
+type Config struct{ ROB int }
+
+// Validate mimics the typed-error validators from PR 1.
+func (c *Config) Validate() error {
+	if c.ROB <= 0 {
+		return ErrBad
+	}
+	return nil
+}
+
+type Cache struct{ name string }
+
+func NewCache(name string, size int) (*Cache, error) {
+	if size <= 0 {
+		return nil, ErrBad
+	}
+	return &Cache{name: name}, nil
+}
+
+func discards(c *Config) {
+	c.Validate()                   // want `result of Validate is discarded`
+	_ = c.Validate()               // want `error from Validate assigned to _`
+	cache, _ := NewCache("l1", 64) // want `error from NewCache assigned to _`
+	_ = cache
+}
+
+func checked(c *Config) (*Cache, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return NewCache("l1", 64)
+}
+
+func rawPanic() {
+	panic("boom") // want `panic outside a Must\* helper or init`
+}
+
+func inClosure() func() {
+	return func() {
+		panic("closures inherit the rule") // want `panic outside a Must\* helper or init`
+	}
+}
+
+// MustConfig is a sanctioned Must* helper: panics are its contract.
+func MustConfig(c *Config) *Config {
+	if err := c.Validate(); err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// MustBuild shows the rule is name-based for methods too.
+func (c *Cache) MustBuild() *Cache {
+	if c.name == "" {
+		panic("unnamed cache")
+	}
+	return c
+}
+
+func init() {
+	if false {
+		panic("init may panic")
+	}
+}
+
+//vrlint:allow panicfree -- injected fault: crash on demand for chaos tests
+func injectedPanic(n int) {
+	if n == 0 {
+		panic("injected")
+	}
+}

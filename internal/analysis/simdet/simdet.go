@@ -1,0 +1,250 @@
+// Package simdet enforces determinism inside the simulator core: identical
+// (workload, configuration, seed) inputs must produce bit-identical
+// results, because EXPERIMENTS.md compares the reproduction to the paper
+// on the *shape* of its tables — any nondeterminism poisons every number
+// downstream.
+//
+// Within the simulator packages it flags:
+//
+//   - `range` over a map whose body has order-dependent side effects
+//     (Go randomizes map iteration order on purpose);
+//   - wall-clock reads (time.Now, time.Since, time.Until, time.Sleep) —
+//     simulated time is the only clock the model may observe;
+//   - math/rand package-level functions, which draw from the process-
+//     global, unseeded source; rand.New(rand.NewSource(seed)) — the form
+//     the fault injector uses — is the allowed idiom;
+//   - mutable package-level state (vars other than error sentinels),
+//     which makes results depend on run ordering within the process.
+//
+// Order-independent accumulation into outer variables (x++, x += v and the
+// other commutative compound assignments on integers) is permitted inside
+// map ranges. Genuinely order-free exceptions are annotated
+// `//vrlint:allow simdet -- reason`.
+package simdet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"vrsim/internal/analysis"
+)
+
+// Analyzer is the simdet pass.
+var Analyzer = &analysis.Analyzer{
+	Name:  "simdet",
+	Doc:   "flag nondeterminism hazards (map-order dependence, wall-clock reads, global RNG, mutable globals) in simulator packages",
+	Scope: InSimulatorPackage,
+	Run:   run,
+}
+
+// simulatorPackages are the packages whose behaviour feeds simulation
+// results and therefore must be bit-deterministic.
+var simulatorPackages = []string{
+	"internal/core",
+	"internal/cpu",
+	"internal/mem",
+	"internal/prefetch",
+	"internal/branch",
+	"internal/workloads",
+}
+
+// InSimulatorPackage reports whether the import path is one of the
+// deterministic simulator packages.
+func InSimulatorPackage(path string) bool {
+	for _, p := range simulatorPackages {
+		if path == p || strings.HasSuffix(path, "/"+p) {
+			return true
+		}
+	}
+	return false
+}
+
+// clockFuncs are the wall-clock entry points of package time.
+var clockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true, "Sleep": true}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		checkPackageVars(pass, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				checkMapRange(pass, n)
+			case *ast.SelectorExpr:
+				checkSelector(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkSelector flags wall-clock reads and global-source math/rand calls.
+func checkSelector(pass *analysis.Pass, sel *ast.SelectorExpr) {
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return // methods (e.g. on a seeded *rand.Rand) are fine
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if clockFuncs[fn.Name()] {
+			pass.Reportf(sel.Pos(), "wall-clock read time.%s in simulator code; simulated time is the only clock the model may observe", fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		if !strings.HasPrefix(fn.Name(), "New") {
+			pass.Reportf(sel.Pos(), "%s.%s draws from the process-global random source; use rand.New(rand.NewSource(seed)) so runs are reproducible", fn.Pkg().Path(), fn.Name())
+		}
+	}
+}
+
+// checkPackageVars flags mutable package-level state.
+func checkPackageVars(pass *analysis.Pass, f *ast.File) {
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, name := range vs.Names {
+				if name.Name == "_" {
+					continue
+				}
+				obj := pass.Info.Defs[name]
+				if obj == nil {
+					continue
+				}
+				if analysis.IsErrorType(obj.Type()) {
+					continue // sentinel errors are written once and only compared
+				}
+				pass.Reportf(name.Pos(), "package-level var %s is mutable global state; simulator results must depend only on explicit inputs", name.Name)
+			}
+		}
+	}
+}
+
+// commutativeAssign holds the compound assignment operators whose repeated
+// application is order-independent on integers.
+var commutativeAssign = map[token.Token]bool{
+	token.ADD_ASSIGN:     true,
+	token.SUB_ASSIGN:     true,
+	token.MUL_ASSIGN:     true,
+	token.AND_ASSIGN:     true,
+	token.OR_ASSIGN:      true,
+	token.XOR_ASSIGN:     true,
+	token.AND_NOT_ASSIGN: true,
+}
+
+// pureBuiltins never observe or depend on iteration order by themselves.
+var pureBuiltins = map[string]bool{
+	"len": true, "cap": true, "min": true, "max": true,
+	"make": true, "new": true, "delete": true, "append": true,
+}
+
+// checkMapRange flags `range m` over a map when the loop body has
+// order-dependent side effects.
+func checkMapRange(pass *analysis.Pass, rng *ast.RangeStmt) {
+	tv, ok := pass.Info.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+
+	// Objects declared inside the range statement (key, value, body
+	// locals): writes to these cannot leak iteration order.
+	local := map[types.Object]bool{}
+	ast.Inspect(rng, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.Info.Defs[id]; obj != nil {
+				local[obj] = true
+			}
+		}
+		return true
+	})
+	isLocal := func(e ast.Expr) bool {
+		id := analysis.RootIdent(e)
+		if id == nil {
+			return false
+		}
+		obj := pass.Info.Uses[id]
+		if obj == nil {
+			obj = pass.Info.Defs[id]
+		}
+		return obj == nil || local[obj] || id.Name == "_"
+	}
+	isIntegral := func(e ast.Expr) bool {
+		if tv, ok := pass.Info.Types[e]; ok {
+			if b, ok := tv.Type.Underlying().(*types.Basic); ok {
+				return b.Info()&types.IsInteger != 0
+			}
+		}
+		return false
+	}
+
+	var reason string
+	note := func(pos token.Pos, format string, args ...any) {
+		if reason == "" {
+			reason = fmt.Sprintf(format, args...)
+		}
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if reason != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				if isLocal(lhs) {
+					continue
+				}
+				if commutativeAssign[n.Tok] && isIntegral(lhs) {
+					continue // order-independent integer accumulation
+				}
+				note(n.Pos(), "writes %s", types.ExprString(lhs))
+			}
+		case *ast.IncDecStmt:
+			// x++ / x-- accumulate commutatively.
+		case *ast.SendStmt:
+			note(n.Pos(), "sends on a channel")
+		case *ast.GoStmt:
+			note(n.Pos(), "starts a goroutine")
+		case *ast.DeferStmt:
+			note(n.Pos(), "defers a call")
+		case *ast.ReturnStmt:
+			note(n.Pos(), "returns from inside the iteration")
+		case *ast.CallExpr:
+			if tv, ok := pass.Info.Types[n.Fun]; ok && tv.IsType() {
+				return true // conversion
+			}
+			name := analysis.CalleeName(n)
+			if fn := analysis.FuncObj(pass.Info, n); fn == nil {
+				if pureBuiltins[name] {
+					return true
+				}
+				if name == "copy" && len(n.Args) == 2 && isLocal(n.Args[0]) {
+					return true
+				}
+				note(n.Pos(), "calls %s", name)
+			} else {
+				note(n.Pos(), "calls %s (side effects depend on iteration order)", name)
+			}
+		}
+		return true
+	})
+	if reason != "" {
+		pass.Reportf(rng.Pos(), "iteration over map %s has order-dependent effects (%s); iterate over sorted keys instead", types.ExprString(rng.X), reason)
+	}
+}

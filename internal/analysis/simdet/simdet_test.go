@@ -1,0 +1,33 @@
+package simdet_test
+
+import (
+	"testing"
+
+	"vrsim/internal/analysis/analysistest"
+	"vrsim/internal/analysis/simdet"
+)
+
+func TestSimdet(t *testing.T) {
+	analysistest.Run(t, simdet.Analyzer, "a")
+}
+
+// TestScope pins the driver-level package filter: simdet binds inside the
+// deterministic simulator core and nowhere else.
+func TestScope(t *testing.T) {
+	for path, want := range map[string]bool{
+		"vrsim/internal/core":      true,
+		"vrsim/internal/cpu":       true,
+		"vrsim/internal/mem":       true,
+		"vrsim/internal/prefetch":  true,
+		"vrsim/internal/branch":    true,
+		"vrsim/internal/workloads": true,
+		"vrsim/internal/harness":   false,
+		"vrsim/internal/analysis":  false,
+		"vrsim/cmd/vrsim":          false,
+		"vrsim":                    false,
+	} {
+		if got := simdet.InSimulatorPackage(path); got != want {
+			t.Errorf("InSimulatorPackage(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+// Package a is simdet golden testdata: each // want line must be flagged,
+// every other line must stay silent.
+package a
+
+import (
+	"errors"
+	"math/rand"
+	"time"
+)
+
+var lookup = map[int]int{} // want `package-level var lookup is mutable global state`
+
+// ErrBad is a sentinel error: allowed.
+var ErrBad = errors.New("bad")
+
+//vrlint:allow simdet -- read-only table, never mutated after init
+var shifts = []uint8{2, 3}
+
+func clock() int64 {
+	t := time.Now()   // want `wall-clock read time.Now`
+	_ = time.Since(t) // want `wall-clock read time.Since`
+	return t.UnixNano()
+}
+
+func random(seed int64) int {
+	bad := rand.Intn(10)                // want `math/rand.Intn draws from the process-global random source`
+	r := rand.New(rand.NewSource(seed)) // seeded source: allowed
+	return bad + r.Intn(10)
+}
+
+func collectKeys(m map[int]int) []int {
+	var keys []int
+	for k := range m { // want `iteration over map m has order-dependent effects`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func accumulate(m map[int]int) (int, int) {
+	sum := 0
+	for _, v := range m { // commutative integer accumulation: allowed
+		sum += v
+	}
+	n := 0
+	for range m { // pure counting: allowed
+		n++
+	}
+	return sum, n
+}
+
+func emit(m map[int]int, f func(int)) {
+	for k := range m { // want `iteration over map m has order-dependent effects`
+		f(k)
+	}
+}
+
+func anyKey(m map[int]int) int {
+	for k := range m { // want `iteration over map m has order-dependent effects`
+		return k
+	}
+	return 0
+}
+
+func maxKey(m map[int]int) int {
+	best := 0
+	for k := range m { //vrlint:allow simdet -- max is order-free by construction
+		if k > best {
+			best = k
+		}
+	}
+	return best
+}
+
+func localOnly(m map[int]int) int {
+	total := 0
+	for _, v := range m {
+		w := v * 2 // body-local writes: allowed
+		total += w
+	}
+	return total
+}

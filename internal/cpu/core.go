@@ -386,6 +386,7 @@ func (c *Core) Step() {
 		c.engine.Tick(c)
 	}
 	c.cycle++
+	//vrlint:allow cyclesafe -- statsBase is a snapshot of c.cycle taken in ResetStats, always <= c.cycle
 	c.Stats.Cycles = c.cycle - c.statsBase
 }
 
@@ -414,7 +415,7 @@ func (c *Core) Run(budget uint64) error {
 			if c.Stats.Committed != lastCommitted {
 				lastCommitted = c.Stats.Committed
 				lastProgress = c.cycle
-			} else if c.cycle-lastProgress >= c.cfg.WatchdogCycles {
+			} else if c.cycle >= lastProgress && c.cycle-lastProgress >= c.cfg.WatchdogCycles {
 				return fmt.Errorf("%w: no commit in %d cycles (cycle %d, fetch pc=%d, committed %d)",
 					ErrNoProgress, c.cfg.WatchdogCycles, c.cycle, c.fetchPC, c.Stats.Committed)
 			}

@@ -131,12 +131,19 @@ func ExpT1Config() *Table {
 func ExpT2Graphs(opt Options) (*Table, error) {
 	t := &Table{ID: "T2", Title: "Graph inputs (synthetic stand-ins for Table 2)",
 		Header: []string{"input", "kernel", "nodes", "edges", "LLC MPKI (ooo)"}}
-	kernels := map[string][]string{
-		"KR (Kronecker)": {"bfs_kr", "sssp_kr"},
-		"UR (uniform)":   {"bfs_ur", "sssp_ur"},
+	// An ordered slice, not a map: the table's row order is part of the
+	// rendered output EXPERIMENTS.md is compared on, and a map would also
+	// let an input drift out of the (previously separate) iteration list.
+	kernels := []struct {
+		input string
+		names []string
+	}{
+		{"KR (Kronecker)", []string{"bfs_kr", "sssp_kr"}},
+		{"UR (uniform)", []string{"bfs_ur", "sssp_ur"}},
 	}
-	for _, input := range []string{"KR (Kronecker)", "UR (uniform)"} {
-		for _, name := range kernels[input] {
+	for _, k := range kernels {
+		input := k.input
+		for _, name := range k.names {
 			w, err := workloads.ByName(name)
 			if err != nil {
 				return nil, err
@@ -467,9 +474,14 @@ func ExpF13DelayedTermination(opt Options) (*Table, error) {
 
 // ExpT3Hardware itemizes VR's storage overhead.
 func ExpT3Hardware() *Table {
-	vr := core.NewVR(core.DefaultVRConfig())
 	t := &Table{ID: "T3", Title: "Vector Runahead hardware overhead",
 		Header: []string{"structure", "bytes", "detail"}}
+	cfg := core.DefaultVRConfig()
+	if err := cfg.Validate(); err != nil {
+		t.AddError(err)
+		return t
+	}
+	vr := core.NewVR(cfg)
 	for _, it := range vr.HardwareCost() {
 		t.AddRow(it.Name, d(uint64(it.Bytes)), it.Note)
 	}

@@ -38,18 +38,20 @@ func NewDRAM(coreGHz, minLatencyNS, bandwidthGBs float64) *DRAM {
 // data is available. Contention pushes the start time to the channel's next
 // free slot.
 func (d *DRAM) Access(cycle uint64) (done uint64) {
-	start := cycle
-	if d.nextFree > start {
+	// Queueing delay is computed under an explicit ordering check so the
+	// unsigned arithmetic can never wrap (cyclesafe invariant).
+	start, queueDelay := cycle, uint64(0)
+	if d.nextFree > cycle {
 		start = d.nextFree
+		queueDelay = d.nextFree - cycle
 	}
 	d.nextFree = start + d.ServiceInterval
 	done = start + d.MinLatency
-	lat := done - cycle
 	d.Accesses++
-	d.TotalLatency += lat
+	d.TotalLatency += queueDelay + d.MinLatency
 	d.BusyCycles += d.ServiceInterval
-	if q := start - cycle; q > d.MaxQueueDelay {
-		d.MaxQueueDelay = q
+	if queueDelay > d.MaxQueueDelay {
+		d.MaxQueueDelay = queueDelay
 	}
 	return done
 }

@@ -102,6 +102,8 @@ type FaultInjector struct {
 
 // NewFaultInjector builds an injector for the configuration; it panics on
 // an invalid config (call Validate first for a recoverable error).
+//
+//vrlint:allow panicfree -- documented constructor contract: Validate() is the typed-error path
 func NewFaultInjector(cfg FaultConfig) *FaultInjector {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
@@ -114,6 +116,8 @@ func (fi *FaultInjector) Config() FaultConfig { return fi.cfg }
 
 // onDemandAccess observes one demand access, firing PanicAfter when its
 // count comes up.
+//
+//vrlint:allow panicfree -- injected fault: this panic IS the chaos-test payload RunSupervised must catch
 func (fi *FaultInjector) onDemandAccess() {
 	fi.Stats.DemandSeen++
 	if fi.cfg.PanicAfter != 0 && fi.Stats.DemandSeen == fi.cfg.PanicAfter {

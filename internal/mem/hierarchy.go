@@ -367,7 +367,9 @@ func (h *Hierarchy) accessLine(cycle uint64, line uint64, isWrite bool, class Cl
 	}
 	done += h.L1D.Latency() // fill into L1 and bypass to the requester
 	h.MSHR.Complete(line, start, done, src)
-	h.Stats.MissLatencyArea += done - cycle
+	if done > cycle {
+		h.Stats.MissLatencyArea += done - cycle
+	}
 	h.L1D.Insert(line, isWrite, fillSource)
 
 	if class != ClassDemand {

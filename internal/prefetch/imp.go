@@ -59,6 +59,8 @@ type impPattern struct {
 }
 
 // candidateShifts are the element sizes IMP hypothesizes (4- and 8-byte).
+//
+//vrlint:allow simdet -- read-only hypothesis table, never mutated
 var candidateShifts = []uint8{2, 3}
 
 // NewIMP returns an IMP with a 32-entry index detector, lookahead distance

@@ -2,10 +2,23 @@ package workloads
 
 import (
 	"fmt"
+	"sort"
 
 	"vrsim/internal/isa"
 	"vrsim/internal/mem"
 )
+
+// sortedKeys returns m's keys in ascending order, so validators visit
+// expected values deterministically and report the same first mismatch on
+// every run.
+func sortedKeys(m map[uint64]uint64) []uint64 {
+	keys := make([]uint64, 0, len(m))
+	for k := range m { //vrlint:allow simdet -- collect-then-sort: order is normalized below
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
 
 // hashRounds emits `rounds` of the xorshift-style mixing used by the camel
 // and hash-join kernels on register rv (clobbering rt), and returns the
@@ -98,9 +111,9 @@ func Camel(tableLog, iters int) *Workload {
 			v = nativeHash(bt[v], rounds) & mask
 			want[v]++
 		}
-		for idx, w := range want {
-			if got := d.Load(baseC + idx*8); got != w {
-				return fmt.Errorf("camel: C[%d] = %d, want %d", idx, got, w)
+		for _, idx := range sortedKeys(want) {
+			if got := d.Load(baseC + idx*8); got != want[idx] {
+				return fmt.Errorf("camel: C[%d] = %d, want %d", idx, got, want[idx])
 			}
 		}
 		return nil
@@ -425,9 +438,9 @@ func NASIS(tableLog, iters int) *Workload {
 		for i := 0; i < iters; i++ {
 			want[x.next()%um]++
 		}
-		for k, w := range want {
-			if got := d.Load(baseR + k*8); got != w {
-				return fmt.Errorf("nas-is: R[%d] = %d, want %d", k, got, w)
+		for _, k := range sortedKeys(want) {
+			if got := d.Load(baseR + k*8); got != want[k] {
+				return fmt.Errorf("nas-is: R[%d] = %d, want %d", k, got, want[k])
 			}
 		}
 		return nil
@@ -485,9 +498,9 @@ func RandomAccess(tableLog, iters int) *Workload {
 			v := x.next() % um
 			want[v] ^= v
 		}
-		for k, w := range want {
-			if got := d.Load(baseT + k*8); got != w {
-				return fmt.Errorf("randomaccess: T[%d] = %d, want %d", k, got, w)
+		for _, k := range sortedKeys(want) {
+			if got := d.Load(baseT + k*8); got != want[k] {
+				return fmt.Errorf("randomaccess: T[%d] = %d, want %d", k, got, want[k])
 			}
 		}
 		return nil

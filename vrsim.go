@@ -64,6 +64,8 @@ func Workload(name string) (*WorkloadSpec, error) { return workloads.ByName(name
 func WorkloadNames() []string { return workloads.Names() }
 
 // Run simulates a workload under a configuration.
+//
+//vrlint:allow cfgflow -- thin facade: harness.Run validates the configuration on entry
 func Run(w *WorkloadSpec, cfg Config) (Result, error) { return harness.Run(w, cfg) }
 
 // RunSupervised simulates with crash isolation: an invalid configuration,
