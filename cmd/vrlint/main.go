@@ -1,19 +1,22 @@
 // Command vrlint is the simulator-invariant multichecker: it runs the
-// four vrsim-specific static-analysis passes (simdet, panicfree,
-// cyclesafe, cfgflow) over the repository and fails when any invariant is
-// violated. See DESIGN.md "Static invariants" for what each pass encodes
-// and the `//vrlint:allow` suppression syntax.
+// seven vrsim-specific static-analysis passes (simdet, panicfree,
+// cyclesafe, cfgflow, statsflow, exhaustive, boundcheck) over the
+// repository and fails when any invariant is violated. See DESIGN.md
+// "Static invariants" for what each pass encodes and the
+// `//vrlint:allow` suppression syntax.
 //
 // Standalone usage (what `make lint` runs):
 //
 //	vrlint [packages...]        # default ./...
+//	vrlint -json [packages...]  # machine-readable findings (incl. suppressed)
 //	vrlint -list                # describe the passes and exit
 //
 // vrlint also speaks the `go vet -vettool` unit-checker protocol: when
 // invoked by the go command with a *.cfg argument it type-checks the unit
 // from the supplied export data and reports findings for that package
 // alone, so `go vet -vettool=$(which vrlint) ./...` integrates the passes
-// into any vet-based workflow.
+// into any vet-based workflow. Module-scope passes (statsflow) need the
+// whole package graph at once and therefore run only in standalone mode.
 package main
 
 import (
@@ -30,22 +33,32 @@ import (
 	"strings"
 
 	"vrsim/internal/analysis"
+	"vrsim/internal/analysis/boundcheck"
 	"vrsim/internal/analysis/cfgflow"
 	"vrsim/internal/analysis/cyclesafe"
+	"vrsim/internal/analysis/exhaustive"
 	"vrsim/internal/analysis/panicfree"
 	"vrsim/internal/analysis/simdet"
+	"vrsim/internal/analysis/statsflow"
 )
 
 // version participates in the go command's content-based caching of vet
 // results; bump it when a pass changes behaviour.
-const version = "vrlint version 1.0.0"
+const version = "vrlint version 2.0.0"
 
-// analyzers is the multichecker's pass set.
+// analyzers is the multichecker's per-package pass set.
 var analyzers = []*analysis.Analyzer{
 	simdet.Analyzer,
 	panicfree.Analyzer,
 	cyclesafe.Analyzer,
 	cfgflow.Analyzer,
+	exhaustive.Analyzer,
+	boundcheck.Analyzer,
+}
+
+// moduleAnalyzers is the whole-module pass set (standalone mode only).
+var moduleAnalyzers = []*analysis.ModuleAnalyzer{
+	statsflow.Analyzer,
 }
 
 func main() {
@@ -53,6 +66,7 @@ func main() {
 		printVersion = flag.String("V", "", "print version (go vet protocol; use -V=full)")
 		printFlags   = flag.Bool("flags", false, "print analyzer flags as JSON (go vet protocol)")
 		list         = flag.Bool("list", false, "describe the passes and exit")
+		jsonOut      = flag.Bool("json", false, "emit findings as JSON, including suppressed ones")
 	)
 	flag.Parse()
 
@@ -67,6 +81,9 @@ func main() {
 		for _, a := range analyzers {
 			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
 		}
+		for _, a := range moduleAnalyzers {
+			fmt.Printf("%-10s %s (module-scope; standalone mode only)\n", a.Name, a.Doc)
+		}
 		return
 	}
 
@@ -74,31 +91,79 @@ func main() {
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
 		os.Exit(vetUnit(args[0]))
 	}
-	os.Exit(standalone(args))
+	os.Exit(standalone(args, *jsonOut))
+}
+
+// jsonDiag is one finding in `vrlint -json` output.
+type jsonDiag struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Pass       string `json:"pass"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
 }
 
 // standalone loads the requested packages with the go list driver and
-// applies every pass, honoring each analyzer's Scope.
-func standalone(patterns []string) int {
+// applies every pass, honoring each analyzer's Scope. Module-scope
+// analyzers run once over the full package set.
+func standalone(patterns []string, jsonOut bool) int {
 	pkgs, err := analysis.Load("", patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vrlint:", err)
 		return 1
 	}
-	found := 0
+	var all []analysis.Diagnostic
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
 			if a.Scope != nil && !a.Scope(pkg.PkgPath) {
 				continue
 			}
-			diags, err := analysis.RunAnalyzer(a, pkg)
+			diags, err := analysis.RunAnalyzerAll(a, pkg)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "vrlint:", err)
 				return 1
 			}
-			for _, d := range diags {
+			all = append(all, diags...)
+		}
+	}
+	for _, a := range moduleAnalyzers {
+		diags, err := analysis.RunModuleAnalyzerAll(a, pkgs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vrlint:", err)
+			return 1
+		}
+		all = append(all, diags...)
+	}
+
+	found := 0
+	for _, d := range all {
+		if !d.Suppressed {
+			found++
+		}
+	}
+	if jsonOut {
+		out := make([]jsonDiag, 0, len(all))
+		for _, d := range all {
+			out = append(out, jsonDiag{
+				File:       d.Position.Filename,
+				Line:       d.Position.Line,
+				Col:        d.Position.Column,
+				Pass:       d.Analyzer,
+				Message:    d.Message,
+				Suppressed: d.Suppressed,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "vrlint:", err)
+			return 1
+		}
+	} else {
+		for _, d := range all {
+			if !d.Suppressed {
 				fmt.Println(d)
-				found++
 			}
 		}
 	}

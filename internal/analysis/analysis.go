@@ -63,6 +63,10 @@ type Diagnostic struct {
 	Pos      token.Pos
 	Position token.Position
 	Message  string
+	// Suppressed marks findings silenced by a //vrlint:allow annotation.
+	// Diagnostics() drops them; AllDiagnostics() keeps them flagged, which
+	// is how `vrlint -json` reports the suppression inventory.
+	Suppressed bool
 }
 
 func (d Diagnostic) String() string {
@@ -83,14 +87,39 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // ones (see the //vrlint:allow annotation) already removed, sorted by
 // position.
 func (p *Pass) Diagnostics() []Diagnostic {
-	sup := newSuppressions(p.Fset, p.Files)
-	var out []Diagnostic
-	for _, d := range p.diags {
-		if sup.covers(d.Analyzer, d.Pos) {
-			continue
-		}
+	return dropSuppressed(p.AllDiagnostics())
+}
+
+// AllDiagnostics returns every finding, including suppressed ones (with
+// Suppressed set), sorted by position.
+func (p *Pass) AllDiagnostics() []Diagnostic {
+	return markSuppressed(p.Fset, p.Files, p.diags)
+}
+
+// markSuppressed resolves //vrlint:allow coverage over files and returns
+// the diagnostics sorted by position with Suppressed set where covered.
+func markSuppressed(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diagnostic {
+	sup := newSuppressions(fset, files)
+	out := make([]Diagnostic, 0, len(diags))
+	for _, d := range diags {
+		d.Suppressed = sup.covers(d.Analyzer, d.Pos)
 		out = append(out, d)
 	}
+	sortDiagnostics(out)
+	return out
+}
+
+func dropSuppressed(diags []Diagnostic) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range diags {
+		if !d.Suppressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func sortDiagnostics(out []Diagnostic) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i].Position, out[j].Position
 		if a.Filename != b.Filename {
@@ -104,13 +133,20 @@ func (p *Pass) Diagnostics() []Diagnostic {
 		}
 		return out[i].Message < out[j].Message
 	})
-	return out
 }
 
 // RunAnalyzer applies one analyzer to one loaded package and returns its
 // unsuppressed diagnostics. The caller is responsible for honoring
 // a.Scope.
 func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	diags, err := RunAnalyzerAll(a, pkg)
+	return dropSuppressed(diags), err
+}
+
+// RunAnalyzerAll is RunAnalyzer keeping suppressed findings (flagged via
+// Diagnostic.Suppressed), for drivers that report the suppression
+// inventory.
+func RunAnalyzerAll(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
 	pass := &Pass{
 		Analyzer: a,
 		Fset:     pkg.Fset,
@@ -121,7 +157,7 @@ func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
 	if err := a.Run(pass); err != nil {
 		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
 	}
-	return pass.Diagnostics(), nil
+	return pass.AllDiagnostics(), nil
 }
 
 // AllowPrefix introduces a suppression annotation. The full syntax is

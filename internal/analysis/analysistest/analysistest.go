@@ -68,6 +68,55 @@ func Run(t *testing.T, a *analysis.Analyzer, pkgPaths ...string) {
 	}
 }
 
+// RunModule loads every named testdata package into one shared FileSet,
+// applies the module analyzer to the whole set at once, and checks the
+// combined diagnostics against the // want expectations of every package.
+func RunModule(t *testing.T, a *analysis.ModuleAnalyzer, pkgPaths ...string) {
+	t.Helper()
+	srcRoot, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld := &loader{
+		srcRoot: srcRoot,
+		fset:    token.NewFileSet(),
+		cache:   map[string]*analysis.Package{},
+	}
+	ld.std = importer.ForCompiler(ld.fset, "gc", ld.stdExport)
+	var pkgs []*analysis.Package
+	for _, path := range pkgPaths {
+		pkg, err := ld.load(path)
+		if err != nil {
+			t.Fatalf("loading testdata package %s: %v", path, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	diags, err := analysis.RunModuleAnalyzer(a, pkgs)
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	// Expectations span all packages; partition diagnostics by the package
+	// that owns the file so check sees only its own.
+	fileOwner := map[string]*analysis.Package{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			fileOwner[ld.fset.Position(f.Pos()).Filename] = pkg
+		}
+	}
+	byPkg := map[*analysis.Package][]analysis.Diagnostic{}
+	for _, d := range diags {
+		owner := fileOwner[d.Position.Filename]
+		if owner == nil {
+			t.Errorf("diagnostic outside loaded packages: %s", d)
+			continue
+		}
+		byPkg[owner] = append(byPkg[owner], d)
+	}
+	for _, pkg := range pkgs {
+		check(t, pkg, byPkg[pkg])
+	}
+}
+
 // loader resolves testdata imports from the testdata/src tree and
 // standard-library imports via go list -export.
 type loader struct {

@@ -1,0 +1,1355 @@
+// Package boundcheck defines the bounds-propagation vrlint pass, built on
+// the internal/analysis/dataflow interval engine.
+//
+// The pass assumes validated configurations: for every struct type in the
+// analyzed package that declares a `Validate() error` method, it solves an
+// interval dataflow problem over the Validate body and records, for each
+// integer field, the interval proven to hold on every path that returns
+// nil. Helper calls of the form `if err := bound(name, v, lo, hi); err !=
+// nil { return err }` are inlined per call site (both package functions
+// and local closures), so the idiomatic validation style used by the cpu,
+// core and mem packages yields per-field facts like ROBSize ∈ [1,1<<20].
+//
+// Those facts then seed an intra-procedural interval analysis of every
+// function in the package. Branch conditions refine intervals (including
+// through !, && and ||, and with exact endpoint removal for `x != c`), and
+// the pass flags
+//
+//   - integer division and modulo whose divisor may be zero, and
+//   - make() calls whose signed size or capacity may be negative,
+//
+// at any reachable program point. Floating-point division is exempt: it
+// cannot panic. Function literals are analyzed as separate units with
+// unconstrained captures.
+package boundcheck
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"vrsim/internal/analysis"
+	"vrsim/internal/analysis/dataflow"
+)
+
+// Analyzer is the boundcheck pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "boundcheck",
+	Doc: "propagate Validate()-proven config intervals and flag integer " +
+		"div/mod and make() sizes reachable with zero or unconstrained values",
+	Scope: inScope,
+	Run:   run,
+}
+
+// scopePkgs lists the packages whose arithmetic the pass audits: the
+// simulator core, the ISA semantics, and the experiment harness. Tooling
+// packages (analysis, vrlint) are exempt.
+var scopePkgs = map[string]bool{
+	"vrsim/internal/branch":   true,
+	"vrsim/internal/core":     true,
+	"vrsim/internal/cpu":      true,
+	"vrsim/internal/harness":  true,
+	"vrsim/internal/isa":      true,
+	"vrsim/internal/mem":      true,
+	"vrsim/internal/prefetch": true,
+}
+
+func inScope(pkgPath string) bool { return scopePkgs[pkgPath] }
+
+// maxInlineDepth bounds helper-into-helper inlining during fact
+// extraction.
+const maxInlineDepth = 2
+
+var errorType = types.Universe.Lookup("error").Type()
+
+type analyzer struct {
+	pass *analysis.Pass
+	info *types.Info
+
+	// funcs indexes this package's function and method declarations by
+	// their types object, for helper inlining.
+	funcs map[types.Object]*ast.FuncDecl
+
+	// facts holds the Validate()-proven per-field intervals, keyed by
+	// "pkgpath.TypeName" then field name.
+	facts map[string]map[string]ival
+
+	// factSkip names the config type whose Validate body is currently
+	// being solved; its own facts must not feed back into their proof.
+	factSkip string
+
+	// curChains is the def-use structure of the function currently being
+	// analyzed, used to resolve closure-valued helper idents.
+	curChains *dataflow.Chains
+
+	// inlineCache memoizes per-call-site helper constraints. The entry
+	// environment of an inlined helper binds parameters to argument
+	// intervals computed in an empty environment (constants and facts
+	// only), so the result is independent of caller state and safe to
+	// cache. A nil map records "no constraints".
+	inlineCache map[*ast.CallExpr]map[string]ival
+
+	// summaryCache memoizes per-call-site return intervals of integer
+	// helper functions (e.g. a clamp), computed under the same empty
+	// caller environment as inlineCache.
+	summaryCache map[*ast.CallExpr]ival
+
+	inlineDepth int
+}
+
+func run(pass *analysis.Pass) error {
+	a := &analyzer{
+		pass:         pass,
+		info:         pass.Info,
+		funcs:        map[types.Object]*ast.FuncDecl{},
+		facts:        map[string]map[string]ival{},
+		inlineCache:  map[*ast.CallExpr]map[string]ival{},
+		summaryCache: map[*ast.CallExpr]ival{},
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj := a.info.Defs[fd.Name]; obj != nil {
+					a.funcs[obj] = fd
+				}
+			}
+		}
+	}
+	a.extractFacts()
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					a.checkFn(n, n.Body)
+				}
+			case *ast.FuncLit:
+				a.checkFn(n, n.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// ---- fact extraction ----
+
+// extractFacts solves every `Validate() error` method in the package and
+// records the receiver-field intervals proven on nil-returning paths.
+func (a *analyzer) extractFacts() {
+	for _, fd := range a.funcs {
+		named := validateReceiver(a.info, fd)
+		if named == nil {
+			continue
+		}
+		a.recordFacts(named, fd)
+	}
+}
+
+// validateReceiver returns the receiver's named type when fd is a
+// `Validate() error` method with a named receiver, else nil.
+func validateReceiver(info *types.Info, fd *ast.FuncDecl) *types.Named {
+	if fd.Name.Name != "Validate" || fd.Recv == nil || len(fd.Recv.List) != 1 {
+		return nil
+	}
+	if len(fd.Recv.List[0].Names) != 1 {
+		return nil
+	}
+	res := fd.Type.Results
+	if res == nil || len(res.List) != 1 || len(res.List[0].Names) > 0 {
+		return nil
+	}
+	if !types.Identical(info.TypeOf(res.List[0].Type), errorType) {
+		return nil
+	}
+	t := info.TypeOf(fd.Recv.List[0].Type)
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+func typeKey(named *types.Named) string {
+	if named.Obj().Pkg() == nil {
+		return named.Obj().Name()
+	}
+	return named.Obj().Pkg().Path() + "." + named.Obj().Name()
+}
+
+func (a *analyzer) recordFacts(named *types.Named, fd *ast.FuncDecl) {
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	recv := a.info.Defs[fd.Recv.List[0].Names[0]]
+	if recv == nil {
+		return
+	}
+	recvKey := varKey(recv.(*types.Var))
+
+	a.factSkip = typeKey(named)
+	defer func() { a.factSkip = "" }()
+
+	prevChains := a.curChains
+	a.curChains = dataflow.BuildChains(fd, fd.Body, a.info)
+	defer func() { a.curChains = prevChains }()
+
+	snaps := a.nilReturnEnvs(fd, fd.Body)
+	if snaps == nil {
+		return
+	}
+
+	fieldType := map[string]types.Type{}
+	for i := 0; i < st.NumFields(); i++ {
+		fieldType[st.Field(i).Name()] = st.Field(i).Type()
+	}
+
+	// Union of constrained fields, then join across every nil return
+	// (a field missing from one snapshot is unconstrained there).
+	names := map[string]bool{}
+	for _, s := range snaps {
+		for k := range s.vals {
+			rest, ok := strings.CutPrefix(k, recvKey+".")
+			if ok && !strings.Contains(rest, ".") {
+				names[rest] = true
+			}
+		}
+	}
+	out := map[string]ival{}
+	for name := range names {
+		ft, ok := fieldType[name]
+		if !ok || !isIntegerType(ft) {
+			continue
+		}
+		def := typeRange(ft)
+		iv := ival{lo: 1, hi: -1} // empty: identity for join
+		for _, s := range snaps {
+			v, ok := s.vals[recvKey+"."+name]
+			if !ok {
+				v = def
+			}
+			iv = joinIv(iv, v)
+		}
+		if iv != def && !iv.isTop() {
+			out[name] = iv
+		}
+	}
+	if len(out) > 0 {
+		a.facts[typeKey(named)] = out
+	}
+}
+
+// nilReturnEnvs solves fn's interval problem and returns the environment
+// at every return that may yield nil (proven-error returns are skipped).
+// A nil slice means the body could not be analyzed.
+func (a *analyzer) nilReturnEnvs(fn ast.Node, body *ast.BlockStmt) []*bfact {
+	g := dataflow.Build(fn, body)
+	dom := &ivDomain{a: a}
+	sol := dataflow.Solve(g, dom)
+	if sol == nil {
+		return nil
+	}
+	var snaps []*bfact
+	for _, b := range g.Blocks {
+		f, ok := sol.In[b]
+		if !ok {
+			continue
+		}
+		env := f.(*bfact)
+		for _, n := range b.Nodes {
+			if ret, ok := n.(*ast.ReturnStmt); ok && a.mayReturnNil(ret, env) {
+				snaps = append(snaps, env)
+			}
+			env = dom.Transfer(n, env).(*bfact)
+		}
+	}
+	return snaps
+}
+
+// mayReturnNil reports whether the single-result return statement may
+// produce a nil error: literal nil does, a variable proven non-nil or a
+// call to a never-nil constructor (fmt.Errorf, errors.New) does not, and
+// anything else conservatively may.
+func (a *analyzer) mayReturnNil(ret *ast.ReturnStmt, env *bfact) bool {
+	if len(ret.Results) != 1 {
+		return false
+	}
+	res := ast.Unparen(ret.Results[0])
+	if tv, ok := a.info.Types[res]; ok && tv.IsNil() {
+		return true
+	}
+	if k, ok := a.keyOf(res); ok && env.nonnil[k] {
+		return false
+	}
+	if call, ok := res.(*ast.CallExpr); ok && isNeverNilErrCall(a.info, call) {
+		return false
+	}
+	return true
+}
+
+func isNeverNilErrCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() + "." + fn.Name() {
+	case "fmt.Errorf", "errors.New":
+		return true
+	}
+	return false
+}
+
+// ---- helper inlining ----
+
+// inlineConstraints resolves call to a same-package helper returning
+// error, solves its body, and maps the intervals its parameters must
+// satisfy on nil-returning paths back to the caller's argument keys.
+// Results are cached per call site (see inlineCache).
+func (a *analyzer) inlineConstraints(call *ast.CallExpr) map[string]ival {
+	if cons, ok := a.inlineCache[call]; ok {
+		return cons
+	}
+	a.inlineCache[call] = nil // cut recursion through this site
+	cons := a.computeInline(call)
+	a.inlineCache[call] = cons
+	return cons
+}
+
+func (a *analyzer) computeInline(call *ast.CallExpr) map[string]ival {
+	if a.inlineDepth >= maxInlineDepth {
+		return nil
+	}
+	fn, ftype, body := a.resolveCallee(call)
+	if body == nil {
+		return nil
+	}
+	params := ftype.Params
+	if params == nil || paramCount(params) != len(call.Args) {
+		return nil // variadic or mismatched; skip
+	}
+	res := ftype.Results
+	if res == nil || len(res.List) != 1 ||
+		!types.Identical(a.info.TypeOf(res.List[0].Type), errorType) {
+		return nil
+	}
+
+	// Bind parameters to argument intervals computed without caller
+	// state, recording which argument each parameter came from.
+	entry := newBfact()
+	argOf := map[string]ast.Expr{}
+	i := 0
+	emptyEnv := newBfact()
+	for _, field := range params.List {
+		for _, name := range field.Names {
+			obj, ok := a.info.Defs[name].(*types.Var)
+			if ok {
+				k := varKey(obj)
+				entry.vals[k] = a.eval(call.Args[i], emptyEnv)
+				argOf[k] = call.Args[i]
+			}
+			i++
+		}
+	}
+
+	prevChains := a.curChains
+	a.curChains = dataflow.BuildChains(fn, body, a.info)
+	a.inlineDepth++
+	snaps := a.nilReturnEnvsFrom(fn, body, entry)
+	a.inlineDepth--
+	a.curChains = prevChains
+	if snaps == nil {
+		return nil
+	}
+
+	out := map[string]ival{}
+	for k, arg := range argOf {
+		argKey, ok := a.keyOf(arg)
+		if !ok {
+			continue // constant or compound argument: nothing to refine
+		}
+		iv := ival{lo: 1, hi: -1}
+		for _, s := range snaps {
+			v, present := s.vals[k]
+			if !present {
+				v = entry.vals[k]
+			}
+			iv = joinIv(iv, v)
+		}
+		if iv != entry.vals[k] && !iv.isTop() {
+			out[argKey] = iv
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// nilReturnEnvsFrom is nilReturnEnvs with an explicit entry fact.
+func (a *analyzer) nilReturnEnvsFrom(fn ast.Node, body *ast.BlockStmt, entry *bfact) []*bfact {
+	g := dataflow.Build(fn, body)
+	dom := &ivDomain{a: a, entry: entry}
+	sol := dataflow.Solve(g, dom)
+	if sol == nil {
+		return nil
+	}
+	var snaps []*bfact
+	for _, b := range g.Blocks {
+		f, ok := sol.In[b]
+		if !ok {
+			continue
+		}
+		env := f.(*bfact)
+		for _, n := range b.Nodes {
+			if ret, ok := n.(*ast.ReturnStmt); ok && a.mayReturnNil(ret, env) {
+				snaps = append(snaps, env)
+			}
+			env = dom.Transfer(n, env).(*bfact)
+		}
+	}
+	return snaps
+}
+
+// callSummary computes the interval a call to a same-package integer
+// helper can return, by solving the helper body with parameters bound to
+// argument intervals (in an empty caller environment) and joining the
+// returned expressions' intervals at every return site. Unresolvable
+// callees summarize to top.
+func (a *analyzer) callSummary(call *ast.CallExpr) ival {
+	if iv, ok := a.summaryCache[call]; ok {
+		return iv
+	}
+	a.summaryCache[call] = top() // cut recursion through this site
+	iv := a.computeSummary(call)
+	a.summaryCache[call] = iv
+	return iv
+}
+
+func (a *analyzer) computeSummary(call *ast.CallExpr) ival {
+	if a.inlineDepth >= maxInlineDepth {
+		return top()
+	}
+	fn, ftype, body := a.resolveCallee(call)
+	if body == nil {
+		return top()
+	}
+	params := ftype.Params
+	if params == nil || paramCount(params) != len(call.Args) {
+		return top()
+	}
+	res := ftype.Results
+	if res == nil || len(res.List) != 1 || len(res.List[0].Names) > 0 ||
+		!isIntegerType(a.info.TypeOf(res.List[0].Type)) {
+		return top()
+	}
+
+	entry := newBfact()
+	emptyEnv := newBfact()
+	i := 0
+	for _, field := range params.List {
+		for _, name := range field.Names {
+			if obj, ok := a.info.Defs[name].(*types.Var); ok {
+				entry.vals[varKey(obj)] = a.eval(call.Args[i], emptyEnv)
+			}
+			i++
+		}
+	}
+
+	prevChains := a.curChains
+	a.curChains = dataflow.BuildChains(fn, body, a.info)
+	a.inlineDepth++
+	defer func() {
+		a.inlineDepth--
+		a.curChains = prevChains
+	}()
+
+	g := dataflow.Build(fn, body)
+	dom := &ivDomain{a: a, entry: entry}
+	sol := dataflow.Solve(g, dom)
+	if sol == nil {
+		return top()
+	}
+	out := ival{lo: 1, hi: -1} // empty: identity for join
+	for _, b := range g.Blocks {
+		f, ok := sol.In[b]
+		if !ok {
+			continue
+		}
+		env := f.(*bfact)
+		for _, n := range b.Nodes {
+			if ret, ok := n.(*ast.ReturnStmt); ok {
+				if len(ret.Results) != 1 {
+					return top()
+				}
+				out = joinIv(out, a.eval(ret.Results[0], env))
+			}
+			env = dom.Transfer(n, env).(*bfact)
+		}
+	}
+	if out.empty() {
+		return top() // no returns seen (infinite loop or panic-only body)
+	}
+	return out
+}
+
+// resolveCallee finds the body of a same-package function, method, or
+// local closure named by call.Fun.
+func (a *analyzer) resolveCallee(call *ast.CallExpr) (ast.Node, *ast.FuncType, *ast.BlockStmt) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		switch obj := a.info.Uses[fun].(type) {
+		case *types.Func:
+			if fd := a.funcs[obj]; fd != nil {
+				return fd, fd.Type, fd.Body
+			}
+		case *types.Var:
+			// A closure helper: usable when the variable has exactly one
+			// reaching definition and it is a function literal.
+			if a.curChains == nil {
+				return nil, nil, nil
+			}
+			defs := a.curChains.Defs[obj]
+			if len(defs) == 1 && defs[0].Rhs != nil {
+				if lit, ok := ast.Unparen(defs[0].Rhs).(*ast.FuncLit); ok {
+					return lit, lit.Type, lit.Body
+				}
+			}
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := a.info.Uses[fun.Sel].(*types.Func); ok {
+			if fd := a.funcs[fn]; fd != nil {
+				return fd, fd.Type, fd.Body
+			}
+		}
+	}
+	return nil, nil, nil
+}
+
+func paramCount(fl *ast.FieldList) int {
+	n := 0
+	for _, f := range fl.List {
+		if len(f.Names) == 0 {
+			n++
+		} else {
+			n += len(f.Names)
+		}
+	}
+	return n
+}
+
+// ---- the interval environment (dataflow fact) ----
+
+// bfact is the interval fact: known intervals for keyed expressions,
+// error variables proven non-nil, and constraints pending on an error
+// variable being nil (applied when a branch proves err == nil).
+type bfact struct {
+	vals    map[string]ival
+	nonnil  map[string]bool
+	pending map[string]map[string]ival
+}
+
+func newBfact() *bfact {
+	return &bfact{
+		vals:    map[string]ival{},
+		nonnil:  map[string]bool{},
+		pending: map[string]map[string]ival{},
+	}
+}
+
+// clone copies the outer maps; pending constraint maps are shared and
+// treated as immutable.
+func (f *bfact) clone() *bfact {
+	nf := &bfact{
+		vals:    make(map[string]ival, len(f.vals)),
+		nonnil:  make(map[string]bool, len(f.nonnil)),
+		pending: make(map[string]map[string]ival, len(f.pending)),
+	}
+	for k, v := range f.vals {
+		nf.vals[k] = v
+	}
+	for k := range f.nonnil {
+		nf.nonnil[k] = true
+	}
+	for k, v := range f.pending {
+		nf.pending[k] = v
+	}
+	return nf
+}
+
+// ---- the dataflow domain ----
+
+type ivDomain struct {
+	a *analyzer
+	// entry overrides the function-entry fact (used for inlined helpers).
+	entry *bfact
+}
+
+func (d *ivDomain) Entry() dataflow.Fact {
+	if d.entry != nil {
+		return d.entry
+	}
+	return newBfact()
+}
+
+func (d *ivDomain) Transfer(n ast.Node, in dataflow.Fact) dataflow.Fact {
+	f := in.(*bfact)
+	a := d.a
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		return a.transferAssign(n, f)
+	case *ast.IncDecStmt:
+		if k, ok := a.keyOf(n.X); ok {
+			delta := exact(1)
+			if n.Tok == token.DEC {
+				delta = exact(-1)
+			}
+			nf := f.clone()
+			nf.vals[k] = addIv(a.eval(n.X, f), delta)
+			return a.invalidateAddressed(n, nf)
+		}
+	case *ast.DeclStmt:
+		return a.invalidateAddressed(n, a.transferDecl(n, f))
+	case *ast.RangeStmt:
+		nf := f.clone()
+		overIndexed := isIndexable(a.info.TypeOf(n.X))
+		for i, e := range [2]ast.Expr{n.Key, n.Value} {
+			if e == nil {
+				continue
+			}
+			k, ok := a.keyOf(e)
+			if !ok {
+				continue
+			}
+			if i == 0 && overIndexed {
+				nf.vals[k] = nonNeg()
+			} else {
+				delete(nf.vals, k)
+				a.invalidatePrefix(nf, k)
+			}
+		}
+		return nf
+	}
+	return a.invalidateAddressed(n, f)
+}
+
+func (a *analyzer) transferDecl(n *ast.DeclStmt, f *bfact) *bfact {
+	gd, ok := n.Decl.(*ast.GenDecl)
+	if !ok || gd.Tok != token.VAR {
+		return f
+	}
+	nf := f.clone()
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		for i, name := range vs.Names {
+			k, ok := a.keyOf(name)
+			if !ok {
+				continue
+			}
+			switch {
+			case len(vs.Values) == len(vs.Names):
+				nf.vals[k] = a.eval(vs.Values[i], f)
+			case len(vs.Values) == 0 && isIntegerType(a.info.TypeOf(name)):
+				nf.vals[k] = exact(0) // zero value
+			default:
+				delete(nf.vals, k)
+			}
+			a.invalidatePrefix(nf, k)
+		}
+	}
+	return nf
+}
+
+func (a *analyzer) transferAssign(n *ast.AssignStmt, f *bfact) *bfact {
+	nf := f.clone()
+	switch {
+	case n.Tok == token.DEFINE || n.Tok == token.ASSIGN:
+		if len(n.Lhs) == len(n.Rhs) {
+			for i := range n.Lhs {
+				k, ok := a.keyOf(n.Lhs[i])
+				if !ok {
+					continue
+				}
+				nf.vals[k] = a.eval(n.Rhs[i], f)
+				a.invalidatePrefix(nf, k)
+				delete(nf.nonnil, k)
+				delete(nf.pending, k)
+				if call, okc := ast.Unparen(n.Rhs[i]).(*ast.CallExpr); okc &&
+					types.Identical(a.info.TypeOf(n.Lhs[i]), errorType) {
+					if cons := a.inlineConstraints(call); cons != nil {
+						nf.pending[k] = cons
+					}
+				}
+			}
+		} else {
+			// Tuple assignment: every keyed lhs becomes unknown.
+			for _, l := range n.Lhs {
+				if k, ok := a.keyOf(l); ok {
+					delete(nf.vals, k)
+					delete(nf.nonnil, k)
+					delete(nf.pending, k)
+					a.invalidatePrefix(nf, k)
+				}
+			}
+		}
+	default: // compound op=
+		if len(n.Lhs) == 1 && len(n.Rhs) == 1 {
+			if k, ok := a.keyOf(n.Lhs[0]); ok {
+				op, valid := compoundOp(n.Tok)
+				if valid {
+					nf.vals[k] = a.binop(op, a.eval(n.Lhs[0], f), a.eval(n.Rhs[0], f))
+				} else {
+					delete(nf.vals, k)
+				}
+				a.invalidatePrefix(nf, k)
+			}
+		}
+	}
+	return a.invalidateAddressed(n, nf)
+}
+
+func compoundOp(tok token.Token) (token.Token, bool) {
+	switch tok {
+	case token.ADD_ASSIGN:
+		return token.ADD, true
+	case token.SUB_ASSIGN:
+		return token.SUB, true
+	case token.MUL_ASSIGN:
+		return token.MUL, true
+	}
+	return tok, false
+}
+
+// invalidatePrefix drops every fact keyed under k (its fields), which a
+// write to k makes stale.
+func (a *analyzer) invalidatePrefix(f *bfact, k string) {
+	prefix := k + "."
+	for key := range f.vals {
+		if strings.HasPrefix(key, prefix) {
+			delete(f.vals, key)
+		}
+	}
+}
+
+// invalidateAddressed drops facts for any expression whose address the
+// node takes: the callee may mutate it.
+func (a *analyzer) invalidateAddressed(n ast.Node, f *bfact) *bfact {
+	var doomed []string
+	ast.Inspect(n, func(x ast.Node) bool {
+		if u, ok := x.(*ast.UnaryExpr); ok && u.Op == token.AND {
+			if k, ok := a.keyOf(u.X); ok {
+				doomed = append(doomed, k)
+			}
+		}
+		return true
+	})
+	if len(doomed) == 0 {
+		return f
+	}
+	nf := f.clone()
+	for _, k := range doomed {
+		delete(nf.vals, k)
+		a.invalidatePrefix(nf, k)
+	}
+	return nf
+}
+
+func (d *ivDomain) Refine(cond ast.Expr, truth bool, in dataflow.Fact) dataflow.Fact {
+	return d.a.refine(ast.Unparen(cond), truth, in.(*bfact))
+}
+
+func (a *analyzer) refine(cond ast.Expr, truth bool, f *bfact) *bfact {
+	switch c := cond.(type) {
+	case *ast.UnaryExpr:
+		if c.Op == token.NOT {
+			return a.refine(ast.Unparen(c.X), !truth, f)
+		}
+	case *ast.BinaryExpr:
+		switch c.Op {
+		case token.LAND:
+			if truth {
+				return a.refine(ast.Unparen(c.Y), true,
+					a.refine(ast.Unparen(c.X), true, f))
+			}
+		case token.LOR:
+			if !truth {
+				return a.refine(ast.Unparen(c.Y), false,
+					a.refine(ast.Unparen(c.X), false, f))
+			}
+		case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+			return a.refineCmp(c, truth, f)
+		}
+	}
+	return f
+}
+
+func (a *analyzer) refineCmp(c *ast.BinaryExpr, truth bool, f *bfact) *bfact {
+	op := c.Op
+	if !truth {
+		op = negateCmp(op)
+	}
+	x, y := ast.Unparen(c.X), ast.Unparen(c.Y)
+
+	// nil comparisons drive the error-variable machinery.
+	if a.isNilExpr(y) || a.isNilExpr(x) {
+		other := x
+		if a.isNilExpr(x) {
+			other = y
+		}
+		switch op {
+		case token.EQL: // proven nil: apply pending constraints
+			var cons map[string]ival
+			if k, ok := a.keyOf(other); ok {
+				cons = f.pending[k]
+			} else if call, ok := other.(*ast.CallExpr); ok {
+				cons = a.inlineConstraints(call)
+			}
+			if cons == nil {
+				return f
+			}
+			nf := f.clone()
+			for k, iv := range cons {
+				cur, ok := nf.vals[k]
+				if !ok {
+					cur = top()
+				}
+				nf.vals[k] = meetIv(cur, iv)
+			}
+			return nf
+		case token.NEQ: // proven non-nil
+			if k, ok := a.keyOf(other); ok {
+				nf := f.clone()
+				nf.nonnil[k] = true
+				return nf
+			}
+		}
+		return f
+	}
+
+	if !isIntegerType(a.info.TypeOf(x)) {
+		return f
+	}
+	nf := f
+	cloned := false
+	set := func(k string, iv ival) {
+		if !cloned {
+			nf = f.clone()
+			cloned = true
+		}
+		nf.vals[k] = iv
+	}
+	if kx, ok := a.keyOf(x); ok {
+		set(kx, constrain(a.eval(x, f), op, a.eval(y, f)))
+	}
+	if ky, ok := a.keyOf(y); ok {
+		set(ky, constrain(a.eval(y, f), swapCmp(op), a.eval(x, f)))
+	}
+	return nf
+}
+
+func (a *analyzer) isNilExpr(e ast.Expr) bool {
+	tv, ok := a.info.Types[e]
+	return ok && tv.IsNil()
+}
+
+func (d *ivDomain) Join(x, y dataflow.Fact) dataflow.Fact {
+	a, b := x.(*bfact), y.(*bfact)
+	out := newBfact()
+	for k, av := range a.vals {
+		if bv, ok := b.vals[k]; ok {
+			out.vals[k] = joinIv(av, bv)
+		}
+		// A key absent on one side is unconstrained there; dropping it
+		// falls back to facts/type defaults at eval time.
+	}
+	for k := range a.nonnil {
+		if b.nonnil[k] {
+			out.nonnil[k] = true
+		}
+	}
+	for k, ac := range a.pending {
+		if bc, ok := b.pending[k]; ok && sameConstraints(ac, bc) {
+			out.pending[k] = ac
+		}
+	}
+	return out
+}
+
+func (d *ivDomain) Widen(old, new dataflow.Fact) dataflow.Fact {
+	a, b := old.(*bfact), new.(*bfact)
+	out := newBfact()
+	for k, av := range a.vals {
+		if bv, ok := b.vals[k]; ok {
+			out.vals[k] = widenIv(av, bv)
+		}
+	}
+	for k := range a.nonnil {
+		if b.nonnil[k] {
+			out.nonnil[k] = true
+		}
+	}
+	for k, ac := range a.pending {
+		if bc, ok := b.pending[k]; ok && sameConstraints(ac, bc) {
+			out.pending[k] = ac
+		}
+	}
+	return out
+}
+
+func (d *ivDomain) Equal(x, y dataflow.Fact) bool {
+	a, b := x.(*bfact), y.(*bfact)
+	if len(a.vals) != len(b.vals) || len(a.nonnil) != len(b.nonnil) ||
+		len(a.pending) != len(b.pending) {
+		return false
+	}
+	for k, av := range a.vals {
+		if bv, ok := b.vals[k]; !ok || av != bv {
+			return false
+		}
+	}
+	for k := range a.nonnil {
+		if !b.nonnil[k] {
+			return false
+		}
+	}
+	for k, ac := range a.pending {
+		if bc, ok := b.pending[k]; !ok || !sameConstraints(ac, bc) {
+			return false
+		}
+	}
+	return true
+}
+
+func sameConstraints(a, b map[string]ival) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, av := range a {
+		if bv, ok := b[k]; !ok || av != bv {
+			return false
+		}
+	}
+	return true
+}
+
+// ---- expression keys and evaluation ----
+
+func varKey(v *types.Var) string { return fmt.Sprintf("v%d", v.Pos()) }
+
+// keyOf names an expression trackable in the environment: a local
+// variable, or a chain of struct-field selections rooted at one.
+// Package-level variables and pointer dereferences are excluded
+// (mutable behind the analysis's back / aliased).
+func (a *analyzer) keyOf(e ast.Expr) (string, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := a.info.Uses[e]
+		if obj == nil {
+			obj = a.info.Defs[e]
+		}
+		v, ok := obj.(*types.Var)
+		if !ok || v.IsField() || v.Pkg() == nil || v.Parent() == v.Pkg().Scope() {
+			return "", false
+		}
+		return varKey(v), true
+	case *ast.SelectorExpr:
+		sel, ok := a.info.Selections[e]
+		if !ok || sel.Kind() != types.FieldVal || len(sel.Index()) != 1 {
+			return "", false
+		}
+		base, ok := a.keyOf(e.X)
+		if !ok {
+			return "", false
+		}
+		return base + "." + e.Sel.Name, true
+	}
+	return "", false
+}
+
+func (a *analyzer) eval(e ast.Expr, f *bfact) ival {
+	e = ast.Unparen(e)
+	if tv, ok := a.info.Types[e]; ok && tv.Value != nil {
+		if v, exactOK := constant.Int64Val(constant.ToInt(tv.Value)); exactOK {
+			return exact(v)
+		}
+		return a.typeDefault(e)
+	}
+	if k, ok := a.keyOf(e); ok {
+		if iv, present := f.vals[k]; present {
+			return iv
+		}
+	}
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		if iv, ok := a.factFor(e); ok {
+			return iv
+		}
+	case *ast.BinaryExpr:
+		return a.binop(e.Op, a.eval(e.X, f), a.eval(e.Y, f))
+	case *ast.UnaryExpr:
+		switch e.Op {
+		case token.SUB:
+			return negIv(a.eval(e.X, f))
+		case token.ADD:
+			return a.eval(e.X, f)
+		}
+	case *ast.CallExpr:
+		if isLenOrCap(a.info, e) {
+			return nonNeg()
+		}
+		if tv, ok := a.info.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+			return a.evalConversion(e, f)
+		}
+		if isIntegerType(a.info.TypeOf(e)) {
+			if iv := a.callSummary(e); !iv.isTop() {
+				return iv
+			}
+		}
+	}
+	return a.typeDefault(e)
+}
+
+func (a *analyzer) binop(op token.Token, x, y ival) ival {
+	switch op {
+	case token.ADD:
+		return addIv(x, y)
+	case token.SUB:
+		return subIv(x, y)
+	case token.MUL:
+		return mulIv(x, y)
+	case token.REM:
+		// x % m with x >= 0 and m >= 1 lands in [0, m-1].
+		if !x.loInf && x.lo >= 0 && !y.loInf && y.lo >= 1 {
+			out := ival{lo: 0, hiInf: y.hiInf}
+			if !y.hiInf {
+				out.hi = y.hi - 1
+			}
+			return out
+		}
+	case token.QUO:
+		// x / d with x >= 0 and d >= 1 stays in [0, x.hi].
+		if !x.loInf && x.lo >= 0 && !y.loInf && y.lo >= 1 {
+			return ival{lo: 0, hi: x.hi, hiInf: x.hiInf}
+		}
+	case token.AND:
+		// Masking with a non-negative operand bounds the result.
+		if !y.loInf && y.lo >= 0 && !y.hiInf {
+			return ival{lo: 0, hi: y.hi}
+		}
+		if !x.loInf && x.lo >= 0 && !x.hiInf {
+			return ival{lo: 0, hi: x.hi}
+		}
+	case token.SHL:
+		// x << s with non-negative x and a bounded shift recomputes the
+		// endpoints; a product that could wrap degrades to top.
+		if !x.loInf && x.lo >= 0 && !x.hiInf &&
+			!y.loInf && y.lo >= 0 && !y.hiInf && y.hi < 63 {
+			if hi, ok := satMul(x.hi, 1<<uint(y.hi)); ok {
+				return ival{lo: x.lo << uint(y.lo), hi: hi}
+			}
+		}
+	}
+	return top()
+}
+
+// evalConversion propagates an interval through T(x) when the value
+// provably survives unchanged: identical types, or a value that fits the
+// destination's representable range.
+func (a *analyzer) evalConversion(call *ast.CallExpr, f *bfact) ival {
+	src := a.info.TypeOf(call.Args[0])
+	dst := a.info.TypeOf(call)
+	def := a.typeDefault(call)
+	if !isIntegerType(src) || !isIntegerType(dst) {
+		return def
+	}
+	inner := a.eval(call.Args[0], f)
+	if types.Identical(src.Underlying(), dst.Underlying()) {
+		return inner
+	}
+	if fitsIn(inner, dst) {
+		return inner
+	}
+	return def
+}
+
+// fitsIn reports whether every value of iv is representable in integer
+// type t without wrapping.
+func fitsIn(iv ival, t types.Type) bool {
+	if iv.loInf || iv.hiInf {
+		return false
+	}
+	r, ok := kindRange(t)
+	if !ok {
+		return false
+	}
+	loOK := r.loInf || iv.lo >= r.lo
+	hiOK := r.hiInf || iv.hi <= r.hi
+	return loOK && hiOK
+}
+
+// kindRange returns the representable range of an integer type. Unsigned
+// 64-bit ranges exceed int64 and report an infinite upper bound.
+func kindRange(t types.Type) (ival, bool) {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return ival{}, false
+	}
+	switch b.Kind() {
+	case types.Int8:
+		return ival{lo: -1 << 7, hi: 1<<7 - 1}, true
+	case types.Int16:
+		return ival{lo: -1 << 15, hi: 1<<15 - 1}, true
+	case types.Int32:
+		return ival{lo: -1 << 31, hi: 1<<31 - 1}, true
+	case types.Int, types.Int64, types.UntypedInt:
+		return top(), true
+	case types.Uint8:
+		return ival{lo: 0, hi: 1<<8 - 1}, true
+	case types.Uint16:
+		return ival{lo: 0, hi: 1<<16 - 1}, true
+	case types.Uint32:
+		return ival{lo: 0, hi: 1<<32 - 1}, true
+	case types.Uint, types.Uint64, types.Uintptr:
+		return nonNeg(), true
+	}
+	return ival{}, false
+}
+
+func (a *analyzer) typeDefault(e ast.Expr) ival { return typeRange(a.info.TypeOf(e)) }
+
+func typeRange(t types.Type) ival {
+	if t == nil {
+		return top()
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return top()
+	}
+	if b.Info()&types.IsUnsigned != 0 {
+		// Small unsigned types keep their exact representable range so
+		// conversions like int(x uint32) stay precise.
+		if r, ok := kindRange(b); ok {
+			return r
+		}
+		return nonNeg()
+	}
+	return top()
+}
+
+// factFor looks up the Validate()-proven interval for a config-field
+// selection.
+func (a *analyzer) factFor(sel *ast.SelectorExpr) (ival, bool) {
+	s, ok := a.info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return ival{}, false
+	}
+	t := s.Recv()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ival{}, false
+	}
+	tk := typeKey(named)
+	if tk == a.factSkip {
+		return ival{}, false
+	}
+	iv, ok := a.facts[tk][sel.Sel.Name]
+	return iv, ok
+}
+
+func isIntegerType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+func isIndexable(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Slice, *types.Array:
+		return true
+	case *types.Pointer:
+		_, ok := u.Elem().Underlying().(*types.Array)
+		return ok
+	case *types.Basic:
+		return u.Info()&types.IsString != 0
+	}
+	return false
+}
+
+func isLenOrCap(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && (b.Name() == "len" || b.Name() == "cap")
+}
+
+func isMake(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "make"
+}
+
+// ---- checking ----
+
+// checkFn solves one function body and audits every reachable division,
+// modulo and make() call against the fixpoint intervals.
+func (a *analyzer) checkFn(fn ast.Node, body *ast.BlockStmt) {
+	prevChains := a.curChains
+	a.curChains = dataflow.BuildChains(fn, body, a.info)
+	defer func() { a.curChains = prevChains }()
+
+	g := dataflow.Build(fn, body)
+	dom := &ivDomain{a: a}
+	sol := dataflow.Solve(g, dom)
+	if sol == nil {
+		return // unsupported construct or budget exceeded
+	}
+	for _, b := range g.Blocks {
+		f, ok := sol.In[b]
+		if !ok {
+			continue // unreachable
+		}
+		env := f.(*bfact)
+		for _, n := range b.Nodes {
+			if rs, ok := n.(*ast.RangeStmt); ok {
+				// The range node stands for the key/value binding; its
+				// body statements are separate nodes. Only the ranged
+				// operand is evaluated here.
+				a.checkWithin(rs.X, env)
+			} else {
+				a.checkWithin(n, env)
+			}
+			env = dom.Transfer(n, env).(*bfact)
+		}
+		// Branch conditions are evaluated with the block's final fact.
+		seen := map[ast.Expr]bool{}
+		for _, e := range b.Succs {
+			if e.Cond != nil && !seen[e.Cond] {
+				seen[e.Cond] = true
+				a.checkWithin(e.Cond, env)
+			}
+		}
+	}
+}
+
+// checkWithin audits the expressions of one node. Short-circuit operators
+// refine the environment for their right operand, so `b != 0 && a/b > 1`
+// passes. Function literals are skipped: they run at another time and are
+// analyzed as separate units.
+func (a *analyzer) checkWithin(n ast.Node, f *bfact) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.BinaryExpr:
+			switch x.Op {
+			case token.LAND:
+				a.checkWithin(x.X, f)
+				a.checkWithin(x.Y, a.refine(ast.Unparen(x.X), true, f))
+				return false
+			case token.LOR:
+				a.checkWithin(x.X, f)
+				a.checkWithin(x.Y, a.refine(ast.Unparen(x.X), false, f))
+				return false
+			case token.QUO, token.REM:
+				a.checkDiv(x, f)
+			}
+		case *ast.CallExpr:
+			a.checkMake(x, f)
+		}
+		return true
+	})
+}
+
+func (a *analyzer) checkDiv(e *ast.BinaryExpr, f *bfact) {
+	if !isIntegerType(a.info.TypeOf(e.X)) {
+		return // float and complex division cannot panic
+	}
+	div := peelWideningConv(a.info, e.Y)
+	iv := a.eval(div, f)
+	if iv.containsZero() {
+		a.pass.Reportf(e.OpPos, "divisor %s may be zero (interval %s)",
+			types.ExprString(e.Y), iv)
+	}
+}
+
+// peelWideningConv strips integer conversions that preserve zero-ness:
+// T(x) is zero iff x is zero whenever T is at least as wide as x's type.
+// This lets uint64 guards survive the int64(...) casts in isa semantics.
+func peelWideningConv(info *types.Info, e ast.Expr) ast.Expr {
+	for {
+		e = ast.Unparen(e)
+		call, ok := e.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return e
+		}
+		tv, ok := info.Types[call.Fun]
+		if !ok || !tv.IsType() {
+			return e
+		}
+		src, dst := info.TypeOf(call.Args[0]), info.TypeOf(call)
+		if !isIntegerType(src) || !isIntegerType(dst) ||
+			intWidth(dst) < intWidth(src) {
+			return e
+		}
+		e = call.Args[0]
+	}
+}
+
+func intWidth(t types.Type) int {
+	b, _ := t.Underlying().(*types.Basic)
+	if b == nil {
+		return 0
+	}
+	switch b.Kind() {
+	case types.Int8, types.Uint8:
+		return 8
+	case types.Int16, types.Uint16:
+		return 16
+	case types.Int32, types.Uint32:
+		return 32
+	}
+	return 64
+}
+
+func (a *analyzer) checkMake(call *ast.CallExpr, f *bfact) {
+	if !isMake(a.info, call) || len(call.Args) < 2 {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		t := a.info.TypeOf(arg)
+		if !isIntegerType(t) || typeRange(t) == nonNeg() {
+			continue // unsigned sizes cannot be negative
+		}
+		iv := a.eval(arg, f)
+		if iv.mayNegative() {
+			a.pass.Reportf(arg.Pos(), "make size %s may be negative (interval %s)",
+				types.ExprString(arg), iv)
+		}
+	}
+}

@@ -1,0 +1,31 @@
+package boundcheck_test
+
+import (
+	"testing"
+
+	"vrsim/internal/analysis/analysistest"
+	"vrsim/internal/analysis/boundcheck"
+)
+
+func TestBoundcheck(t *testing.T) {
+	analysistest.Run(t, boundcheck.Analyzer, "a")
+}
+
+// TestScope pins the driver-level package filter: boundcheck audits the
+// simulator and harness packages but not the tooling.
+func TestScope(t *testing.T) {
+	for _, p := range []string{
+		"vrsim/internal/cpu", "vrsim/internal/mem", "vrsim/internal/harness",
+	} {
+		if !boundcheck.Analyzer.Scope(p) {
+			t.Errorf("Scope(%q) = false, want true", p)
+		}
+	}
+	for _, p := range []string{
+		"vrsim/internal/analysis", "vrsim/cmd/vrlint", "vrsim/internal/workloads",
+	} {
+		if boundcheck.Analyzer.Scope(p) {
+			t.Errorf("Scope(%q) = true, want false", p)
+		}
+	}
+}

@@ -1,0 +1,312 @@
+package boundcheck
+
+import (
+	"fmt"
+	"go/token"
+	"math"
+)
+
+// ival is a signed-integer interval with optionally unbounded endpoints.
+// When loInf (hiInf) is set the lo (hi) field is meaningless. An interval
+// with finite endpoints and lo > hi is empty: it describes an infeasible
+// path and satisfies no predicate.
+//
+// nz records the one hole intervals cannot otherwise express: the value
+// is provably nonzero. It is what lets `if b == 0 { ... }` guards on
+// signed operands prove a later division safe; arithmetic conservatively
+// drops it.
+type ival struct {
+	lo, hi       int64
+	loInf, hiInf bool
+	nz           bool
+}
+
+func top() ival          { return ival{loInf: true, hiInf: true} }
+func exact(v int64) ival { return ival{lo: v, hi: v} }
+func nonNeg() ival       { return ival{lo: 0, hiInf: true} }
+
+func (v ival) isTop() bool { return v.loInf && v.hiInf }
+
+func (v ival) empty() bool { return !v.loInf && !v.hiInf && v.lo > v.hi }
+
+func (v ival) containsZero() bool {
+	if v.empty() || v.nz {
+		return false
+	}
+	return (v.loInf || v.lo <= 0) && (v.hiInf || v.hi >= 0)
+}
+
+func (v ival) mayNegative() bool {
+	if v.empty() {
+		return false
+	}
+	return v.loInf || v.lo < 0
+}
+
+// String renders the interval with brackets on finite inclusive endpoints
+// and parentheses at infinities, e.g. "[1,64]", "[0,+inf)", "(-inf,+inf)".
+func (v ival) String() string {
+	if v.empty() {
+		return "(empty)"
+	}
+	lo, hi := "(-inf", fmt.Sprintf("%d]", v.hi)
+	if !v.loInf {
+		lo = fmt.Sprintf("[%d", v.lo)
+	}
+	if v.hiInf {
+		hi = "+inf)"
+	}
+	return lo + "," + hi
+}
+
+func joinIv(a, b ival) ival {
+	if a.empty() {
+		return b
+	}
+	if b.empty() {
+		return a
+	}
+	var out ival
+	out.loInf = a.loInf || b.loInf
+	if !out.loInf {
+		out.lo = min64(a.lo, b.lo)
+	}
+	out.hiInf = a.hiInf || b.hiInf
+	if !out.hiInf {
+		out.hi = max64(a.hi, b.hi)
+	}
+	out.nz = !a.containsZero() && !b.containsZero()
+	return out
+}
+
+func meetIv(a, b ival) ival {
+	var out ival
+	switch {
+	case a.loInf && b.loInf:
+		out.loInf = true
+	case a.loInf:
+		out.lo = b.lo
+	case b.loInf:
+		out.lo = a.lo
+	default:
+		out.lo = max64(a.lo, b.lo)
+	}
+	switch {
+	case a.hiInf && b.hiInf:
+		out.hiInf = true
+	case a.hiInf:
+		out.hi = b.hi
+	case b.hiInf:
+		out.hi = a.hi
+	default:
+		out.hi = min64(a.hi, b.hi)
+	}
+	out.nz = a.nz || b.nz
+	return out
+}
+
+// widenIv drops any endpoint that moved since old: unstable bounds go to
+// infinity so loops converge.
+func widenIv(old, new ival) ival {
+	out := joinIv(old, new)
+	if !out.loInf && !old.loInf && out.lo < old.lo {
+		out.loInf = true
+	}
+	if !out.hiInf && !old.hiInf && out.hi > old.hi {
+		out.hiInf = true
+	}
+	return out
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// satAdd adds with overflow detection.
+func satAdd(a, b int64) (int64, bool) {
+	s := a + b
+	if (b > 0 && s < a) || (b < 0 && s > a) {
+		return 0, false
+	}
+	return s, true
+}
+
+func satMul(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	p := a * b
+	if p/b != a || (a == -1 && b == math.MinInt64) || (b == -1 && a == math.MinInt64) {
+		return 0, false
+	}
+	return p, true
+}
+
+func addIv(a, b ival) ival {
+	if a.empty() || b.empty() {
+		return a
+	}
+	var out ival
+	out.loInf = a.loInf || b.loInf
+	if !out.loInf {
+		var ok bool
+		if out.lo, ok = satAdd(a.lo, b.lo); !ok {
+			out.loInf = true
+		}
+	}
+	out.hiInf = a.hiInf || b.hiInf
+	if !out.hiInf {
+		var ok bool
+		if out.hi, ok = satAdd(a.hi, b.hi); !ok {
+			out.hiInf = true
+		}
+	}
+	return out
+}
+
+func negIv(a ival) ival {
+	if a.empty() {
+		return a
+	}
+	out := ival{loInf: a.hiInf, hiInf: a.loInf, nz: a.nz}
+	if !out.loInf {
+		if a.hi == math.MinInt64 {
+			out.loInf = true
+		} else {
+			out.lo = -a.hi
+		}
+	}
+	if !out.hiInf {
+		if a.lo == math.MinInt64 {
+			out.hiInf = true
+		} else {
+			out.hi = -a.lo
+		}
+	}
+	return out
+}
+
+func subIv(a, b ival) ival { return addIv(a, negIv(b)) }
+
+func mulIv(a, b ival) ival {
+	if a.empty() || b.empty() {
+		return a
+	}
+	if a.loInf || a.hiInf || b.loInf || b.hiInf {
+		// With an unbounded operand only the "both known non-negative"
+		// case keeps a useful lower bound (products cannot dip below
+		// lo*lo); everything else degrades to top.
+		if !a.loInf && !b.loInf && a.lo >= 0 && b.lo >= 0 {
+			lo, ok := satMul(a.lo, b.lo)
+			if ok {
+				return ival{lo: lo, hiInf: true}
+			}
+		}
+		return top()
+	}
+	first := true
+	var out ival
+	for _, x := range [2]int64{a.lo, a.hi} {
+		for _, y := range [2]int64{b.lo, b.hi} {
+			p, ok := satMul(x, y)
+			if !ok {
+				return top()
+			}
+			if first {
+				out = exact(p)
+				first = false
+			} else {
+				out = joinIv(out, exact(p))
+			}
+		}
+	}
+	return out
+}
+
+// constrain refines x under the predicate "x op y" known to hold.
+func constrain(x ival, op token.Token, y ival) ival {
+	if y.empty() {
+		return x
+	}
+	switch op {
+	case token.LSS:
+		if !y.hiInf && y.hi != math.MinInt64 {
+			x = meetIv(x, ival{loInf: true, hi: y.hi - 1})
+		}
+	case token.LEQ:
+		if !y.hiInf {
+			x = meetIv(x, ival{loInf: true, hi: y.hi})
+		}
+	case token.GTR:
+		if !y.loInf && y.lo != math.MaxInt64 {
+			x = meetIv(x, ival{lo: y.lo + 1, hiInf: true})
+		}
+	case token.GEQ:
+		if !y.loInf {
+			x = meetIv(x, ival{lo: y.lo, hiInf: true})
+		}
+	case token.EQL:
+		x = meetIv(x, y)
+	case token.NEQ:
+		// Intervals cannot carve interior holes, but removing a matching
+		// endpoint is exact, and a nonzero guard (`x != 0`) is recorded
+		// in the nz flag even when zero sits mid-interval.
+		if !y.loInf && !y.hiInf && y.lo == y.hi {
+			switch {
+			case !x.loInf && x.lo == y.lo && x.lo != math.MaxInt64:
+				x.lo++
+			case !x.hiInf && x.hi == y.lo && x.hi != math.MinInt64:
+				x.hi--
+			}
+			if y.lo == 0 {
+				x.nz = true
+			}
+		}
+	}
+	return x
+}
+
+// negateCmp returns the comparison that holds when "x op y" is false.
+func negateCmp(op token.Token) token.Token {
+	switch op {
+	case token.LSS:
+		return token.GEQ
+	case token.LEQ:
+		return token.GTR
+	case token.GTR:
+		return token.LEQ
+	case token.GEQ:
+		return token.LSS
+	case token.EQL:
+		return token.NEQ
+	case token.NEQ:
+		return token.EQL
+	}
+	return op
+}
+
+// swapCmp returns the comparison with operands exchanged: "x op y" holds
+// iff "y swapCmp(op) x" holds.
+func swapCmp(op token.Token) token.Token {
+	switch op {
+	case token.LSS:
+		return token.GTR
+	case token.LEQ:
+		return token.GEQ
+	case token.GTR:
+		return token.LSS
+	case token.GEQ:
+		return token.LEQ
+	}
+	return op
+}

@@ -1,0 +1,132 @@
+// Package a is boundcheck golden testdata: Validate()-proven config
+// intervals, branch refinement, helper summaries, and flagged
+// division/modulo/make sites.
+package a
+
+import "errors"
+
+// Config is validated in the style the simulator packages use: a local
+// closure for one field, a package helper for another, and a direct
+// comparison for the third. Lanes is deliberately never validated.
+type Config struct {
+	Width   int
+	ROBSize int
+	Lanes   int
+	Quantum uint64
+}
+
+func pbound(name string, v, lo, hi int) error {
+	if v < lo || v > hi {
+		return errors.New(name)
+	}
+	return nil
+}
+
+func (c Config) Validate() error {
+	bound := func(name string, v, lo, hi int) error {
+		if v < lo || v > hi {
+			return errors.New(name)
+		}
+		return nil
+	}
+	if err := bound("Width", c.Width, 1, 64); err != nil {
+		return err
+	}
+	if err := pbound("ROBSize", c.ROBSize, 1, 1024); err != nil {
+		return err
+	}
+	if c.Quantum == 0 {
+		return errors.New("Quantum")
+	}
+	return nil
+}
+
+type Core struct {
+	cfg Config
+}
+
+// Validated fields divide cleanly: Validate proves ROBSize in [1,1024],
+// Width in [1,64] and Quantum in [1,+inf).
+func (c *Core) Slot(i int) int {
+	return i % c.cfg.ROBSize
+}
+
+func (c *Core) PerWidth(n int) int {
+	return (n + c.cfg.Width - 1) / c.cfg.Width
+}
+
+func (c *Core) Chunk(x uint64) uint64 {
+	return x / c.cfg.Quantum
+}
+
+// Lanes carries no Validate() fact.
+func (c *Core) PerLane(n int) int {
+	return n / c.cfg.Lanes // want `divisor c\.cfg\.Lanes may be zero`
+}
+
+// A guard refines the divisor away from zero on the fall-through path.
+func guarded(a, b int) int {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+func raw(a, b int) int {
+	return a % b // want `divisor b may be zero`
+}
+
+// Short-circuit conditions refine their right operand.
+func shortCircuit(a, b int) bool {
+	return b != 0 && a/b > 2
+}
+
+// Widening integer conversions preserve zero-ness, as in isa.ALUResult.
+func divU(a, b uint64) uint64 {
+	if b == 0 {
+		return 0
+	}
+	return uint64(int64(a) / int64(b))
+}
+
+// An unconstrained signed size is flagged; a checked one is not.
+func alloc(n int) []int {
+	return make([]int, n) // want `make size n may be negative`
+}
+
+func allocChecked(n int) []int {
+	if n < 0 {
+		return nil
+	}
+	return make([]int, n)
+}
+
+func clampLog(v int) int {
+	if v < 0 {
+		return 0
+	}
+	if v > 24 {
+		return 24
+	}
+	return v
+}
+
+// Integer helper summaries: the size is provably in [1,1<<24].
+func allocTable(logSize int) []int {
+	return make([]int, 1<<clampLog(logSize))
+}
+
+// Validated config fields are safe make sizes.
+func allocCfg(c Config) []int {
+	return make([]int, c.ROBSize)
+}
+
+// Floating-point division cannot panic and is exempt.
+func ratio(a, b float64) float64 {
+	return a / b
+}
+
+func suppressed(a, b int) int {
+	//vrlint:allow boundcheck -- testdata: caller guarantees b nonzero
+	return a / b
+}

@@ -1,0 +1,117 @@
+package dataflow
+
+import "go/ast"
+
+// A Fact is one domain's abstract state at a program point. Domains choose
+// the representation; the solver only moves Facts around.
+type Fact any
+
+// A Domain supplies the lattice and transfer functions for one analysis.
+// The solver calls Transfer for every node in a block in order, Refine on
+// guarded edges, and Join/Widen/Equal to reach a fixpoint.
+//
+// Facts must be treated as immutable by the solver's clients: Transfer,
+// Refine, Join and Widen return fresh (or shared, unmodified) values and
+// never mutate their inputs in place.
+type Domain interface {
+	// Entry returns the fact holding at function entry.
+	Entry() Fact
+	// Transfer applies one straight-line node to the incoming fact.
+	Transfer(n ast.Node, in Fact) Fact
+	// Refine restricts the fact along a branch edge on which cond is
+	// known to evaluate to truth.
+	Refine(cond ast.Expr, truth bool, in Fact) Fact
+	// Join merges facts at a control-flow merge point.
+	Join(a, b Fact) Fact
+	// Widen accelerates convergence on loop back-edges after the solver
+	// has seen a block more than widenAfter times. Domains with finite
+	// lattices may simply return Join(old, new).
+	Widen(old, new Fact) Fact
+	// Equal reports whether two facts are equivalent (fixpoint test).
+	Equal(a, b Fact) bool
+}
+
+// widenAfter is the number of joins into a block before the solver
+// switches from Join to Widen for that block.
+const widenAfter = 8
+
+// maxSteps bounds total solver work per function; a function complex
+// enough to exceed it gets a nil Solution (clients skip it) rather than a
+// hung lint run.
+const maxSteps = 200_000
+
+// A Solution holds the fixpoint facts of one Solve run.
+type Solution struct {
+	// In maps each reachable block to the fact at its start.
+	In map[*Block]Fact
+	// Before maps each node of each reachable block to the fact holding
+	// immediately before it.
+	Before map[ast.Node]Fact
+}
+
+// Solve runs the worklist algorithm over g with domain d and returns the
+// fixpoint, or nil when g is unsupported or the step budget is exceeded.
+func Solve(g *CFG, d Domain) *Solution {
+	if g == nil || g.Unsupported {
+		return nil
+	}
+	in := map[*Block]Fact{g.Entry: d.Entry()}
+	joins := map[*Block]int{}
+
+	work := []*Block{g.Entry}
+	queued := map[*Block]bool{g.Entry: true}
+	steps := 0
+	for len(work) > 0 {
+		if steps++; steps > maxSteps {
+			return nil
+		}
+		b := work[0]
+		work = work[1:]
+		queued[b] = false
+
+		fact := in[b]
+		for _, n := range b.Nodes {
+			fact = d.Transfer(n, fact)
+		}
+		for _, e := range b.Succs {
+			f := fact
+			if e.Cond != nil {
+				f = d.Refine(e.Cond, e.Truth, fact)
+			}
+			old, seen := in[e.To]
+			var next Fact
+			if !seen {
+				next = f
+			} else {
+				joins[e.To]++
+				if joins[e.To] > widenAfter {
+					next = d.Widen(old, f)
+				} else {
+					next = d.Join(old, f)
+				}
+				if d.Equal(old, next) {
+					continue
+				}
+			}
+			in[e.To] = next
+			if !queued[e.To] {
+				queued[e.To] = true
+				work = append(work, e.To)
+			}
+		}
+	}
+
+	// One more deterministic pass to record per-node facts.
+	sol := &Solution{In: in, Before: map[ast.Node]Fact{}}
+	for _, b := range g.Blocks {
+		fact, ok := in[b]
+		if !ok {
+			continue // unreachable
+		}
+		for _, n := range b.Nodes {
+			sol.Before[n] = fact
+			fact = d.Transfer(n, fact)
+		}
+	}
+	return sol
+}

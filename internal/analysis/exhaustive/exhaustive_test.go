@@ -1,0 +1,12 @@
+package exhaustive_test
+
+import (
+	"testing"
+
+	"vrsim/internal/analysis/analysistest"
+	"vrsim/internal/analysis/exhaustive"
+)
+
+func TestExhaustive(t *testing.T) {
+	analysistest.Run(t, exhaustive.Analyzer, "vrsim/internal/sim")
+}

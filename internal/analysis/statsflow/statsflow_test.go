@@ -1,0 +1,13 @@
+package statsflow_test
+
+import (
+	"testing"
+
+	"vrsim/internal/analysis/analysistest"
+	"vrsim/internal/analysis/statsflow"
+)
+
+func TestStatsflow(t *testing.T) {
+	analysistest.RunModule(t, statsflow.Analyzer,
+		"vrsim/internal/cpu", "vrsim/internal/harness")
+}

@@ -1,0 +1,37 @@
+// Package cpu is a statsflow testdata stub mimicking the simulator core:
+// one counter struct with live, dead, orphaned and suppressed fields, and
+// one counter struct that the harness aggregates whole.
+package cpu
+
+// Stats is a counter store; the harness picks fields out individually.
+type Stats struct {
+	Cycles     uint64
+	Committed  uint64
+	Dead       uint64
+	Orphan     uint64 // want `counter cpu\.Stats\.Orphan is declared but never written`
+	Suppressed uint64
+}
+
+// EngineStats is aggregated whole into a Result field, so none of its
+// fields can be dead.
+type EngineStats struct {
+	Bursts uint64
+	Waits  uint64
+}
+
+// Core drives the counters.
+type Core struct {
+	Stats  Stats
+	Engine EngineStats
+}
+
+// Step bumps the counters.
+func (c *Core) Step() {
+	c.Stats.Cycles++
+	c.Stats.Committed++
+	c.Stats.Dead++ // want `counter cpu\.Stats\.Dead is written but never read`
+	//vrlint:allow statsflow -- testdata: suppression must silence the dead-counter finding
+	c.Stats.Suppressed++
+	c.Engine.Bursts++
+	c.Engine.Waits++
+}

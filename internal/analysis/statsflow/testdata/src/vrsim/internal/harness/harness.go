@@ -1,0 +1,37 @@
+// Package harness is a statsflow testdata stub mimicking the aggregation
+// side: a Result struct whose fields must each trace back to a counter.
+package harness
+
+import "vrsim/internal/cpu"
+
+// Result mirrors the real harness result carrier.
+type Result struct {
+	Workload string
+	Cycles   uint64
+	IPC      float64
+	Accum    uint64
+	Engine   cpu.EngineStats
+	Bogus    uint64
+	Missing  uint64 // want `Result field Missing is never assigned`
+}
+
+// Collect aggregates the counters of one run.
+func Collect(c *cpu.Core) Result {
+	st := &c.Stats
+	res := Result{
+		Workload: "w",
+		Cycles:   st.Cycles,
+	}
+	if st.Cycles > 0 {
+		res.IPC = float64(st.Committed) / float64(st.Cycles)
+	}
+	var accum uint64
+	for i := 0; i < 3; i++ {
+		accum += st.Committed
+	}
+	res.Accum = accum
+	res.Engine = c.Engine
+	res.Bogus = 42             // want `Result field Bogus does not trace back to any simulator counter`
+	res.Cycles = st.Cycles + 1 // want `Result field Cycles is reassigned, overwriting the value aggregated at`
+	return res
+}

@@ -31,6 +31,19 @@ type Predictor interface {
 	Name() string
 }
 
+// clampLog saturates a table-size exponent into [0,24]: predictors are
+// constructed from externally supplied configuration, and a garbage
+// exponent must not wrap the table size negative or exhaust memory.
+func clampLog(logSize int) int {
+	if logSize < 0 {
+		return 0
+	}
+	if logSize > 24 {
+		return 24
+	}
+	return logSize
+}
+
 // counter is a saturating n-bit counter helper.
 func bump(c uint8, taken bool, max uint8) uint8 {
 	if taken {
@@ -52,7 +65,10 @@ type Bimodal struct {
 }
 
 // NewBimodal returns a bimodal predictor with 2^logSize counters.
+// logSize is clamped to [0,24] so a garbage value can neither wrap the
+// table size negative nor exhaust memory.
 func NewBimodal(logSize int) *Bimodal {
+	logSize = clampLog(logSize)
 	size := 1 << logSize
 	t := make([]uint8, size)
 	for i := range t {
@@ -81,8 +97,10 @@ type Gshare struct {
 }
 
 // NewGshare returns a gshare predictor with 2^logSize counters using
-// historyBits bits of the caller's global history.
+// historyBits bits of the caller's global history. logSize is clamped
+// like NewBimodal's.
 func NewGshare(logSize int, historyBits uint) *Gshare {
+	logSize = clampLog(logSize)
 	size := 1 << logSize
 	t := make([]uint8, size)
 	for i := range t {

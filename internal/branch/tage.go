@@ -28,8 +28,10 @@ type tageEntry struct {
 }
 
 // NewTAGE builds a predictor with the given per-table log2 size and the
-// classic geometric history series {8, 16, 32, 64}.
+// classic geometric history series {8, 16, 32, 64}. logSize is clamped
+// like NewBimodal's.
 func NewTAGE(logSize int) *TAGE {
+	logSize = clampLog(logSize)
 	hist := []uint{8, 16, 32, 64}
 	t := &TAGE{base: NewBimodal(logSize + 1), allocSeed: 0x9e3779b9}
 	for _, h := range hist {
@@ -116,12 +118,16 @@ func (t *TAGE) allocate(pc int, hist uint64, from int, taken bool) {
 	t.allocSeed ^= t.allocSeed >> 17
 	t.allocSeed ^= t.allocSeed << 5
 
-	start := from + int(t.allocSeed)%(len(t.tables)-from)
-	if start < from { // negative modulo
-		start += len(t.tables) - from
+	n := len(t.tables) - from // candidate tables; callers keep from < len
+	if n <= 0 {
+		return
 	}
-	for off := 0; off < len(t.tables)-from; off++ {
-		i := from + (start-from+off)%(len(t.tables)-from)
+	start := from + int(t.allocSeed)%n
+	if start < from { // negative modulo
+		start += n
+	}
+	for off := 0; off < n; off++ {
+		i := from + (start-from+off)%n
 		tt := &t.tables[i]
 		j := tt.index(pc, hist)
 		e := &tt.entries[j]

@@ -136,11 +136,35 @@ type Result struct {
 	StallLoadFrac     float64 // commit blocked on a load
 	HeldFrac          float64 // commit held by delayed termination
 
+	// Front-end and commit-mix counters.
+	Fetched            uint64 // instructions fetched (incl. squashed paths)
+	Squashed           uint64 // instructions discarded on pipeline flushes
+	CommittedLoads     uint64
+	CommittedStores    uint64
+	MemOrderViolations uint64 // loads squashed by an older overlapping store
+
+	// Dispatch/commit pressure diagnostics, complementing the *Frac stall
+	// fractions above with their raw causes.
+	DispatchBlockedROB    uint64 // dispatch attempts blocked by a full ROB
+	ROBFullLoadMiss       uint64 // ROB-full cycles with a load miss at head
+	ResourceStallLoadMiss uint64 // resource-stall cycles with a load miss in flight
+
 	// Off-chip traffic (DRAM line fetches) by requester.
 	OffChipDemand   uint64
 	OffChipRunahead uint64
 	OffChipPrefetch uint64
 	OffChipTotal    uint64
+
+	// DRAM channel behaviour.
+	DRAMAvgLat float64 // mean DRAM access latency in cycles
+	DRAMUtil   float64 // DRAM channel busy fraction
+	MLPArea    float64 // MLP as miss-latency area per cycle (cf. MLP, MSHR occupancy)
+
+	// Demand accesses by serving level, and prefetcher traffic.
+	DemandLoadsByLevel  [mem.NumLevels]uint64
+	DemandStoresByLevel [mem.NumLevels]uint64
+	PrefetchIssued      [mem.NumSources]uint64 // prefetches injected, per source
+	PrefetchDropped     uint64                 // hw prefetches dropped for lack of MSHRs
 
 	// Prefetch effectiveness for the runahead source.
 	RunaheadUseful     uint64
@@ -226,6 +250,10 @@ func newInstance(w *workloads.Workload, rc RunConfig) (*instance, error) {
 	case TechRA:
 		in.ra = core.NewClassicRA(rc.RA)
 		in.c.AttachEngine(in.ra)
+	default:
+		// TechOoO, TechOracle and TechIMP run on the plain core: the
+		// baseline has no engine, oracle is modeled as a perfect L1, and
+		// IMP is a hardware prefetcher attached to the hierarchy above.
 	}
 	return in, nil
 }
@@ -282,10 +310,24 @@ func (in *instance) execute() (Result, error) {
 		MLP:            hier.MSHR.AvgOccupancy(st.Cycles),
 		MispredictRate: st.MispredictRate(),
 
+		Fetched:            st.Fetched,
+		Squashed:           st.Squashed,
+		CommittedLoads:     st.CommittedLoads,
+		CommittedStores:    st.CommittedStores,
+		MemOrderViolations: st.MemOrderViolations,
+
+		DispatchBlockedROB:    st.DispatchBlockedROB,
+		ROBFullLoadMiss:       st.ROBFullLoadMiss,
+		ResourceStallLoadMiss: st.ResourceStallLoadMiss,
+
 		OffChipDemand:   hs.OffChipBySource[mem.SrcDemand],
 		OffChipRunahead: hs.OffChipBySource[mem.SrcRunahead],
 		OffChipPrefetch: hs.OffChipBySource[mem.SrcStride] + hs.OffChipBySource[mem.SrcIMP],
-		OffChipTotal:    hier.DRAM.Accesses,
+
+		DemandLoadsByLevel:  hs.DemandLoads,
+		DemandStoresByLevel: hs.DemandStores,
+		PrefetchIssued:      hs.PrefetchIssued,
+		PrefetchDropped:     hs.PrefetchDropped,
 
 		RunaheadUseful:     hs.PrefetchUseful[mem.SrcRunahead],
 		TimelinessL1:       hs.TimelinessHits[mem.SrcRunahead][mem.AtL1],
@@ -296,6 +338,12 @@ func (in *instance) execute() (Result, error) {
 	d := hier.Derive(st.Committed, st.Cycles)
 	res.L1MissRate = d.L1MissRate
 	res.LLCMPKI = d.LLCMPKI
+	res.DRAMAvgLat = d.DRAMAvgLat
+	res.DRAMUtil = d.DRAMUtil
+	res.MLPArea = d.AvgMLP
+	// Same value as hier.DRAM.Accesses, routed through DerivedStats so the
+	// derived and raw views cannot drift apart.
+	res.OffChipTotal = d.TotalOffChip
 	if st.Cycles > 0 {
 		res.ROBFullFrac = float64(st.ROBFullCycles) / float64(st.Cycles)
 		res.ResourceStallFrac = float64(st.ResourceStallCycles) / float64(st.Cycles)

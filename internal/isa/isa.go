@@ -184,8 +184,9 @@ func (in Instr) hasSrc1() bool {
 	switch in.Op {
 	case Nop, Halt, Li, Jmp:
 		return false
+	default:
+		return true
 	}
-	return true
 }
 
 func (in Instr) hasSrc2() bool {
@@ -194,8 +195,9 @@ func (in Instr) hasSrc2() bool {
 		Mul, Div, Rem, FAdd, FSub, FMul, FDiv, FSlt,
 		Ld, St, Beq, Bne, Blt, Bge, Bltu, Bgeu:
 		return true
+	default:
+		return false
 	}
-	return false
 }
 
 // Sources appends the architectural registers the instruction reads to dst

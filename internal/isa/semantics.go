@@ -90,8 +90,10 @@ func ALUResult(in Instr, a, b uint64) uint64 {
 		return math.Float64bits(float64(int64(a)))
 	case FtoI:
 		return uint64(int64(math.Float64frombits(a)))
+	default:
+		// Loads, stores, branches, Nop and Halt: no ALU result.
+		return 0
 	}
-	return 0
 }
 
 // BranchTaken evaluates a conditional branch's condition from its source
@@ -112,8 +114,10 @@ func BranchTaken(in Instr, a, b uint64) bool {
 		return a >= b
 	case Jmp:
 		return true
+	default:
+		// Non-branches are never taken.
+		return false
 	}
-	return false
 }
 
 func boolTo64(b bool) uint64 {

@@ -60,8 +60,12 @@ func (b *Backing) StoreSlice(addr uint64, vals []uint64) {
 	}
 }
 
-// LoadSlice reads n consecutive 64-bit words starting at addr.
+// LoadSlice reads n consecutive 64-bit words starting at addr. A
+// negative n reads nothing.
 func (b *Backing) LoadSlice(addr uint64, n int) []uint64 {
+	if n < 0 {
+		return nil
+	}
 	out := make([]uint64, n)
 	for i := range out {
 		out[i] = b.Load(addr + uint64(i)*8)

@@ -32,8 +32,12 @@ type StrideTable struct {
 	clock   uint64
 }
 
-// NewStrideTable returns a table with the given number of entries.
+// NewStrideTable returns a table with the given number of entries. A
+// negative count allocates an empty table.
 func NewStrideTable(entries int) *StrideTable {
+	if entries < 0 {
+		entries = 0
+	}
 	return &StrideTable{entries: make([]StrideEntry, 0, entries)}
 }
 
