@@ -16,10 +16,14 @@ import (
 
 // benchOpt returns reduced-budget options over cheap-to-construct
 // workloads; graph workloads appear in the dedicated graph benchmarks.
+// Parallel is pinned to 1 so these numbers stay comparable with the
+// serial baselines recorded in BENCH_PR*.json; the *Parallel variants
+// below measure the worker-pool path.
 func benchOpt() harness.Options {
 	return harness.Options{
 		MaxBudget: 150_000,
 		Workloads: []string{"camel", "kangaroo", "hj2", "hj8", "nas-is", "randomaccess"},
+		Parallel:  1,
 	}
 }
 
@@ -50,7 +54,7 @@ func BenchmarkTable1Config(b *testing.B) {
 // BenchmarkTable2Graphs regenerates the graph-input table (T2): measured
 // LLC MPKI on the synthetic KR and UR inputs.
 func BenchmarkTable2Graphs(b *testing.B) {
-	opt := harness.Options{MaxBudget: 150_000}
+	opt := harness.Options{MaxBudget: 150_000, Parallel: 1}
 	for i := 0; i < b.N; i++ {
 		t, err := harness.ExpT2Graphs(opt)
 		if err != nil {
@@ -203,6 +207,58 @@ func BenchmarkTable3Hardware(b *testing.B) {
 		t := harness.ExpT3Hardware()
 		if len(t.Rows) == 0 {
 			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkTable2GraphsParallel is BenchmarkTable2Graphs with the sweep
+// engine's worker pool at 8: graph construction and the four simulation
+// cells overlap. The output is byte-identical to the serial run; only
+// wall-clock changes (bounded by the host's core count).
+func BenchmarkTable2GraphsParallel(b *testing.B) {
+	opt := harness.Options{MaxBudget: 150_000, Parallel: 8}
+	for i := 0; i < b.N; i++ {
+		t, err := harness.ExpT2Graphs(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(t.Rows) != 4 {
+			b.Fatalf("rows = %d", len(t.Rows))
+		}
+	}
+}
+
+// BenchmarkFig7PerformanceParallel is BenchmarkFig7Performance at
+// -parallel 8: per-workload baselines run concurrently, technique cells
+// start as soon as their own baseline completes.
+func BenchmarkFig7PerformanceParallel(b *testing.B) {
+	opt := benchOpt()
+	opt.Parallel = 8
+	var rows []harness.PerfRow
+	for i := 0; i < b.N; i++ {
+		_, r, err := harness.ExpF7Performance(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = r
+	}
+	reportSpeedups(b, rows)
+}
+
+// BenchmarkFig2ROBSweepParallel is BenchmarkFig2ROBSweep at -parallel 8:
+// the ROB-size × workload grid fans out across the pool.
+func BenchmarkFig2ROBSweepParallel(b *testing.B) {
+	opt := benchOpt()
+	opt.Parallel = 8
+	opt.Workloads = []string{"camel", "hj8"}
+	opt.ROBSizes = []int{128, 224, 350}
+	for i := 0; i < b.N; i++ {
+		t, err := harness.ExpF2ROBSweep(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(t.Rows) != 3 {
+			b.Fatalf("rows = %d", len(t.Rows))
 		}
 	}
 }

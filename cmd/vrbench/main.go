@@ -7,14 +7,29 @@
 //	vrbench -exp all -maxbudget 300000  # everything, faster
 //	vrbench -exp f2 -workloads camel,hj8
 //	vrbench -exp f7 -faults spike=0.01,spikecycles=2000 -faultseed 7
+//	vrbench -exp all -parallel 8        # same bytes, more cores
 //
 // Experiment ids follow EXPERIMENTS.md: t1 t2 f2 f7 f8 f9 f10 f11 f12 f13 t3.
+//
+// Experiment cells (one workload × technique × configuration simulation
+// each) execute on a bounded worker pool: -parallel N caps the concurrency
+// (default GOMAXPROCS). Output is assembled in declaration order, so the
+// rendered tables and JSON are byte-identical at every -parallel setting,
+// including -parallel 1.
 //
 // Runs are supervised: a crash or hang in one workload/technique cell
 // renders as ERR in its table (with the error and a machine-state snapshot
 // in the table's error summary) instead of aborting the campaign. vrbench
 // exits non-zero if any experiment failed or any cell degraded, but only
 // after every requested experiment has been attempted.
+//
+// Fault injection is scoped per cell by default: each cell derives its own
+// injector from (-faultseed, workload, technique, cell index), so the
+// fault sequence a cell sees never depends on execution order and
+// count-based faults (panic=N, hang=N) count per cell. The legacy
+// behaviour — one injector shared across the whole campaign, count-based
+// faults firing in exactly one cell — survives as -faultscope=campaign,
+// which forces serial execution (it is incompatible with -parallel N>1).
 package main
 
 import (
@@ -39,11 +54,32 @@ func main() {
 		format    = flag.String("format", "text", "output format: text|json")
 		faults    = flag.String("faults", "", "fault injection spec, comma-separated k=v: spike=P,spikecycles=N,drop=P,starve=P,starvecycles=N,panic=N,hang=N")
 		faultSeed = flag.Int64("faultseed", 1, "fault injection RNG seed")
+		scope     = flag.String("faultscope", "cell", "fault injection scope: cell (per-cell deterministic injectors) or campaign (one shared injector, serial execution)")
 		watchdog  = flag.Uint64("watchdog", 0, "abort a run after this many cycles without a commit (0 = default)")
+		parallelN = flag.Int("parallel", 0, "max concurrent simulation cells (0 = GOMAXPROCS); output is byte-identical at any setting")
 	)
 	flag.Parse()
 
-	opt := harness.Options{MaxBudget: *budget, WatchdogCycles: *watchdog}
+	faultScope, err := harness.ParseFaultScope(*scope)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vrbench: -faultscope: %v\n", err)
+		os.Exit(2)
+	}
+	if faultScope == harness.FaultScopeCampaign && *parallelN > 1 {
+		fmt.Fprintln(os.Stderr, "vrbench: -faultscope=campaign shares one injector across cells and requires serial execution; drop -parallel or use -faultscope=cell")
+		os.Exit(2)
+	}
+	if *parallelN < 0 {
+		fmt.Fprintf(os.Stderr, "vrbench: -parallel %d: want >= 0\n", *parallelN)
+		os.Exit(2)
+	}
+
+	opt := harness.Options{
+		MaxBudget:      *budget,
+		WatchdogCycles: *watchdog,
+		Parallel:       *parallelN,
+		FaultScope:     faultScope,
+	}
 	if *wl != "" {
 		opt.Workloads = strings.Split(*wl, ",")
 	}
@@ -60,9 +96,12 @@ func main() {
 			os.Exit(2)
 		}
 		opt.Faults = fc
-		// One injector for the whole campaign, so count-based faults
-		// (panic=N, hang=N) fire in exactly one cell of the sweep.
-		opt.FaultInjector = mem.NewFaultInjector(fc)
+		if faultScope == harness.FaultScopeCampaign {
+			// One injector for all of -exp all, so count-based faults
+			// (panic=N, hang=N) fire in exactly one cell of the whole
+			// campaign — not one per experiment sweep.
+			opt.FaultInjector = mem.NewFaultInjector(fc)
+		}
 	}
 
 	ids := []string{*exp}

@@ -10,6 +10,12 @@ import (
 // benefit depends on MSHR capacity, DRAM bandwidth, branch prediction
 // quality, and the always-on stride prefetcher.
 
+// pairSweep covers the common ablation shape: for each point of a sweep
+// and each workload, one OoO run and one VR run (the VR cell dependent on
+// the OoO cell, mirroring the serial drivers that skipped VR when its
+// baseline failed).
+type pairCell struct{ o, v *sweepCell }
+
 // ExpA1MSHRSweep varies the L1-D MSHR count: the structure VR exists to
 // keep full. Too few MSHRs choke the gathers; beyond saturation, extra
 // entries buy nothing.
@@ -20,18 +26,29 @@ func ExpA1MSHRSweep(opt Options) (*Table, error) {
 	}
 	t := &Table{ID: "A1", Title: "Ablation: MSHR count (h-mean over sweep set)",
 		Header: []string{"MSHRs", "ooo IPC", "vr IPC", "vr gain", "vr MLP"}}
-	for _, n := range []int{12, 24, 48} {
-		var oooIPC, vrIPC, gain, mlp []float64
-		for _, w := range ws {
+	points := []int{12, 24, 48}
+	sw := opt.newSweep(t)
+	plan := make([][]pairCell, len(points))
+	for pi, n := range points {
+		plan[pi] = make([]pairCell, len(ws))
+		for i, w := range ws {
 			rcO := DefaultRunConfig(TechOoO)
 			rcO.Mem.MSHRs = n
-			ro, ok := opt.cell(t, w, rcO)
+			co := sw.cell(w, rcO)
+			rcV := DefaultRunConfig(TechVR)
+			rcV.Mem.MSHRs = n
+			plan[pi][i] = pairCell{o: co, v: sw.cell(w, rcV, co)}
+		}
+	}
+	sw.run()
+	for pi, n := range points {
+		var oooIPC, vrIPC, gain, mlp []float64
+		for i := range ws {
+			ro, ok := plan[pi][i].o.result()
 			if !ok {
 				continue
 			}
-			rcV := DefaultRunConfig(TechVR)
-			rcV.Mem.MSHRs = n
-			rv, ok := opt.cell(t, w, rcV)
+			rv, ok := plan[pi][i].v.result()
 			if !ok {
 				continue
 			}
@@ -60,18 +77,29 @@ func ExpA2BandwidthSweep(opt Options) (*Table, error) {
 	}
 	t := &Table{ID: "A2", Title: "Ablation: DRAM bandwidth (h-mean over sweep set)",
 		Header: []string{"GB/s", "ooo IPC", "vr IPC", "vr gain"}}
-	for _, gbs := range []float64{25.6, 51.2, 102.4} {
-		var oooIPC, vrIPC, gain []float64
-		for _, w := range ws {
+	points := []float64{25.6, 51.2, 102.4}
+	sw := opt.newSweep(t)
+	plan := make([][]pairCell, len(points))
+	for pi, gbs := range points {
+		plan[pi] = make([]pairCell, len(ws))
+		for i, w := range ws {
 			rcO := DefaultRunConfig(TechOoO)
 			rcO.Mem.DRAMGBs = gbs
-			ro, ok := opt.cell(t, w, rcO)
+			co := sw.cell(w, rcO)
+			rcV := DefaultRunConfig(TechVR)
+			rcV.Mem.DRAMGBs = gbs
+			plan[pi][i] = pairCell{o: co, v: sw.cell(w, rcV, co)}
+		}
+	}
+	sw.run()
+	for pi, gbs := range points {
+		var oooIPC, vrIPC, gain []float64
+		for i := range ws {
+			ro, ok := plan[pi][i].o.result()
 			if !ok {
 				continue
 			}
-			rcV := DefaultRunConfig(TechVR)
-			rcV.Mem.DRAMGBs = gbs
-			rv, ok := opt.cell(t, w, rcV)
+			rv, ok := plan[pi][i].v.result()
 			if !ok {
 				continue
 			}
@@ -106,18 +134,28 @@ func ExpA3Predictors(opt Options) (*Table, error) {
 	}
 	t := &Table{ID: "A3", Title: "Ablation: branch predictor (h-mean over sweep set)",
 		Header: []string{"predictor", "ooo IPC", "vr gain", "mispredict rate"}}
-	for _, p := range preds {
-		var oooIPC, gain, mr []float64
-		for _, w := range ws {
+	sw := opt.newSweep(t)
+	plan := make([][]pairCell, len(preds))
+	for pi, p := range preds {
+		plan[pi] = make([]pairCell, len(ws))
+		for i, w := range ws {
 			rcO := DefaultRunConfig(TechOoO)
 			rcO.CPU.NewPredictor = p.mk
-			ro, ok := opt.cell(t, w, rcO)
+			co := sw.cell(w, rcO)
+			rcV := DefaultRunConfig(TechVR)
+			rcV.CPU.NewPredictor = p.mk
+			plan[pi][i] = pairCell{o: co, v: sw.cell(w, rcV, co)}
+		}
+	}
+	sw.run()
+	for pi, p := range preds {
+		var oooIPC, gain, mr []float64
+		for i := range ws {
+			ro, ok := plan[pi][i].o.result()
 			if !ok {
 				continue
 			}
-			rcV := DefaultRunConfig(TechVR)
-			rcV.CPU.NewPredictor = p.mk
-			rv, ok := opt.cell(t, w, rcV)
+			rv, ok := plan[pi][i].v.result()
 			if !ok {
 				continue
 			}
@@ -144,22 +182,33 @@ func ExpA4StridePrefetcher(opt Options) (*Table, error) {
 	}
 	t := &Table{ID: "A4", Title: "Ablation: L1-D stride prefetcher (h-mean over sweep set)",
 		Header: []string{"config", "ooo IPC", "vr IPC", "vr gain"}}
-	for _, off := range []bool{false, true} {
+	points := []bool{false, true}
+	sw := opt.newSweep(t)
+	plan := make([][]pairCell, len(points))
+	for pi, off := range points {
+		plan[pi] = make([]pairCell, len(ws))
+		for i, w := range ws {
+			rcO := DefaultRunConfig(TechOoO)
+			rcO.DisableStridePrefetcher = off
+			co := sw.cell(w, rcO)
+			rcV := DefaultRunConfig(TechVR)
+			rcV.DisableStridePrefetcher = off
+			plan[pi][i] = pairCell{o: co, v: sw.cell(w, rcV, co)}
+		}
+	}
+	sw.run()
+	for pi, off := range points {
 		label := "stride pf on"
 		if off {
 			label = "stride pf off"
 		}
 		var oooIPC, vrIPC, gain []float64
-		for _, w := range ws {
-			rcO := DefaultRunConfig(TechOoO)
-			rcO.DisableStridePrefetcher = off
-			ro, ok := opt.cell(t, w, rcO)
+		for i := range ws {
+			ro, ok := plan[pi][i].o.result()
 			if !ok {
 				continue
 			}
-			rcV := DefaultRunConfig(TechVR)
-			rcV.DisableStridePrefetcher = off
-			rv, ok := opt.cell(t, w, rcV)
+			rv, ok := plan[pi][i].v.result()
 			if !ok {
 				continue
 			}
@@ -191,18 +240,28 @@ func ExpA5CoreScaling(opt Options) (*Table, error) {
 	}
 	t := &Table{ID: "A5", Title: "Ablation: full back-end scaling (h-mean over sweep set)",
 		Header: []string{"ROB (scaled queues)", "ooo IPC", "vr IPC", "vr gain"}}
-	for _, size := range sizes {
-		var oooIPC, vrIPC, gain []float64
-		for _, w := range ws {
+	sw := opt.newSweep(t)
+	plan := make([][]pairCell, len(sizes))
+	for pi, size := range sizes {
+		plan[pi] = make([]pairCell, len(ws))
+		for i, w := range ws {
 			rcO := DefaultRunConfig(TechOoO)
 			rcO.CPU = cpu.DefaultConfig().WithROB(size)
-			ro, ok := opt.cell(t, w, rcO)
+			co := sw.cell(w, rcO)
+			rcV := DefaultRunConfig(TechVR)
+			rcV.CPU = cpu.DefaultConfig().WithROB(size)
+			plan[pi][i] = pairCell{o: co, v: sw.cell(w, rcV, co)}
+		}
+	}
+	sw.run()
+	for pi, size := range sizes {
+		var oooIPC, vrIPC, gain []float64
+		for i := range ws {
+			ro, ok := plan[pi][i].o.result()
 			if !ok {
 				continue
 			}
-			rcV := DefaultRunConfig(TechVR)
-			rcV.CPU = cpu.DefaultConfig().WithROB(size)
-			rv, ok := opt.cell(t, w, rcV)
+			rv, ok := plan[pi][i].v.result()
 			if !ok {
 				continue
 			}
@@ -232,16 +291,26 @@ func ExpA6LoopBound(opt Options) (*Table, error) {
 	}
 	t := &Table{ID: "A6", Title: "Extension: loop-bound-aware vectorization",
 		Header: []string{"workload", "vr", "vr+bounds", "bound-masked lanes", "traffic ratio"}}
-	for _, w := range ws {
-		base, ok := opt.cell(t, w, DefaultRunConfig(TechOoO))
+	sw := opt.newSweep(t)
+	type wCells struct{ base, plain, bounded *sweepCell }
+	plan := make([]wCells, len(ws))
+	for i, w := range ws {
+		base := sw.cell(w, DefaultRunConfig(TechOoO))
+		plain := sw.cell(w, DefaultRunConfig(TechVR), base)
+		rc := DefaultRunConfig(TechVR)
+		rc.VR.LoopBoundAware = true
+		bounded := sw.cell(w, rc, base)
+		plan[i] = wCells{base: base, plain: plain, bounded: bounded}
+	}
+	sw.run()
+	for i, w := range ws {
+		base, ok := plan[i].base.result()
 		if !ok {
 			t.AddRow(w.Name, errCell, errCell, errCell, errCell)
 			continue
 		}
-		plain, okP := opt.cell(t, w, DefaultRunConfig(TechVR))
-		rc := DefaultRunConfig(TechVR)
-		rc.VR.LoopBoundAware = true
-		bounded, okB := opt.cell(t, w, rc)
+		plain, okP := plan[i].plain.result()
+		bounded, okB := plan[i].bounded.result()
 		vrC, boundsC, lanesC, ratioC := errCell, errCell, errCell, errCell
 		if okP {
 			vrC = f(Speedup(base, plain))
@@ -274,22 +343,37 @@ func ExpA7RunaheadLineage(opt Options) (*Table, error) {
 	}
 	t := &Table{ID: "A7", Title: "Runahead lineage (speedup over OoO baseline)",
 		Header: []string{"workload", "classic ra", "pre", "vr"}}
+	techs := []Technique{TechRA, TechPRE, TechVR}
+	sw := opt.newSweep(t)
+	type wCells struct {
+		base *sweepCell
+		tech []*sweepCell
+	}
+	plan := make([]wCells, len(ws))
+	for i, w := range ws {
+		wc := wCells{base: sw.cell(w, DefaultRunConfig(TechOoO))}
+		for _, tech := range techs {
+			wc.tech = append(wc.tech, sw.cell(w, DefaultRunConfig(tech), wc.base))
+		}
+		plan[i] = wc
+	}
+	sw.run()
 	var sums [3][]float64
-	for _, w := range ws {
-		base, ok := opt.cell(t, w, DefaultRunConfig(TechOoO))
+	for i, w := range ws {
+		base, ok := plan[i].base.result()
 		if !ok {
 			t.AddRow(w.Name, errCell, errCell, errCell)
 			continue
 		}
 		cells := []string{w.Name}
-		for i, tech := range []Technique{TechRA, TechPRE, TechVR} {
-			r, ok := opt.cell(t, w, DefaultRunConfig(tech))
+		for j := range techs {
+			r, ok := plan[i].tech[j].result()
 			if !ok {
 				cells = append(cells, errCell)
 				continue
 			}
 			s := Speedup(base, r)
-			sums[i] = append(sums[i], s)
+			sums[j] = append(sums[j], s)
 			cells = append(cells, f(s))
 		}
 		t.AddRow(cells...)
@@ -315,19 +399,29 @@ func ExpA8Reconverge(opt Options) (*Table, error) {
 	// divergence point at all, so this ablation relaxes the hold bound for
 	// both arms — isolating the reconvergence variable.
 	const holdForDivergence = 2048
-	for _, w := range ws {
-		base, ok := opt.cell(t, w, DefaultRunConfig(TechOoO))
-		if !ok {
-			t.AddRow(w.Name, errCell, errCell, errCell, errCell)
-			continue
-		}
+	sw := opt.newSweep(t)
+	type wCells struct{ base, plain, stacked *sweepCell }
+	plan := make([]wCells, len(ws))
+	for i, w := range ws {
+		base := sw.cell(w, DefaultRunConfig(TechOoO))
 		rcPlain := DefaultRunConfig(TechVR)
 		rcPlain.VR.MaxHoldCycles = holdForDivergence
-		plain, okP := opt.cell(t, w, rcPlain)
+		plain := sw.cell(w, rcPlain, base)
 		rc := DefaultRunConfig(TechVR)
 		rc.VR.MaxHoldCycles = holdForDivergence
 		rc.VR.Reconverge = true
-		stacked, okS := opt.cell(t, w, rc)
+		stacked := sw.cell(w, rc, base)
+		plan[i] = wCells{base: base, plain: plain, stacked: stacked}
+	}
+	sw.run()
+	for i, w := range ws {
+		if _, ok := plan[i].base.result(); !ok {
+			t.AddRow(w.Name, errCell, errCell, errCell, errCell)
+			continue
+		}
+		base, _ := plan[i].base.result()
+		plain, okP := plan[i].plain.result()
+		stacked, okS := plan[i].stacked.result()
 		vrC, stackC, stashC, resumeC := errCell, errCell, errCell, errCell
 		if okP {
 			vrC = f(Speedup(base, plain))
@@ -355,20 +449,33 @@ func ExpA9ExtraWork(opt Options) (*Table, error) {
 	}
 	t := &Table{ID: "A9", Title: "Pre-executed (discarded) work per committed instruction",
 		Header: []string{"workload", "classic ra", "pre", "vr", "vr speedup"}}
-	for _, w := range ws {
-		base, ok := opt.cell(t, w, DefaultRunConfig(TechOoO))
+	sw := opt.newSweep(t)
+	type wCells struct{ base, ra, pre, vr *sweepCell }
+	plan := make([]wCells, len(ws))
+	for i, w := range ws {
+		base := sw.cell(w, DefaultRunConfig(TechOoO))
+		plan[i] = wCells{
+			base: base,
+			ra:   sw.cell(w, DefaultRunConfig(TechRA), base),
+			pre:  sw.cell(w, DefaultRunConfig(TechPRE), base),
+			vr:   sw.cell(w, DefaultRunConfig(TechVR), base),
+		}
+	}
+	sw.run()
+	for i, w := range ws {
+		base, ok := plan[i].base.result()
 		if !ok {
 			t.AddRow(w.Name, errCell, errCell, errCell, errCell)
 			continue
 		}
 		raC, preC, vrC, spC := errCell, errCell, errCell, errCell
-		if ra, ok := opt.cell(t, w, DefaultRunConfig(TechRA)); ok {
+		if ra, ok := plan[i].ra.result(); ok {
 			raC = pct(float64(ra.RAStats.Instrs) / float64(ra.Instrs))
 		}
-		if pre, ok := opt.cell(t, w, DefaultRunConfig(TechPRE)); ok {
+		if pre, ok := plan[i].pre.result(); ok {
 			preC = pct(float64(pre.PREStats.Instrs) / float64(pre.Instrs))
 		}
-		if vr, ok := opt.cell(t, w, DefaultRunConfig(TechVR)); ok {
+		if vr, ok := plan[i].vr.result(); ok {
 			vrWork := vr.VRStats.ScalarInstrs + vr.VRStats.VectorUops + vr.VRStats.GatherLoads
 			vrC = pct(float64(vrWork) / float64(vr.Instrs))
 			spC = f(Speedup(base, vr))

@@ -2,6 +2,8 @@ package harness
 
 import (
 	"encoding/json"
+	"errors"
+	"math"
 	"reflect"
 	"testing"
 
@@ -99,5 +101,161 @@ func TestTableRenderingDeterministic(t *testing.T) {
 	}
 	if t1.String() != t2.String() {
 		t.Errorf("rendered tables differ across identical runs:\n--- run1:\n%s\n--- run2:\n%s", t1.String(), t2.String())
+	}
+}
+
+// parallelProbe is the experiment subset the serial/parallel equivalence
+// tests sweep: it covers independent cells (F9), baseline-dependent cells
+// (F7, A7) and two-level dependency chains over multi-point sweeps (F2).
+func parallelProbe(t *testing.T, opt Options) map[string]string {
+	t.Helper()
+	out := map[string]string{}
+	render := func(id string, tab *Table, err error) {
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		txt := tab.String()
+		b, jerr := json.Marshal(tab)
+		if jerr != nil {
+			t.Fatalf("%s: marshal: %v", id, jerr)
+		}
+		out[id] = txt + "\n" + string(b)
+	}
+	tab, _, err := ExpF7Performance(opt)
+	render("f7", tab, err)
+	o2 := opt
+	o2.ROBSizes = []int{128, 350}
+	tab, err = ExpF2ROBSweep(o2)
+	render("f2", tab, err)
+	tab, err = ExpF9MLP(opt)
+	render("f9", tab, err)
+	tab, err = ExpA7RunaheadLineage(opt)
+	render("a7", tab, err)
+	return out
+}
+
+// TestParallelDeterminism: rendered tables and their JSON encodings must
+// be byte-identical between -parallel 1 and -parallel 8, with and without
+// seeded fault injection. Scheduling may only ever change wall-clock
+// time, never output bytes.
+func TestParallelDeterminism(t *testing.T) {
+	cases := []struct {
+		name   string
+		faults mem.FaultConfig
+	}{
+		{"fault-free", mem.FaultConfig{}},
+		{"seeded-faults", mem.FaultConfig{
+			Seed:               7,
+			LatencySpikeProb:   0.05,
+			LatencySpikeCycles: 300,
+			DropPrefetchProb:   0.1,
+			MSHRStarveProb:     0.02,
+			MSHRStarveCycles:   100,
+			PanicAfter:         30_000,
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			opt := Options{MaxBudget: 20_000, Workloads: []string{"camel", "hj2"}, Faults: tc.faults}
+			opt.Parallel = 1
+			serial := parallelProbe(t, opt)
+			opt.Parallel = 8
+			parallel := parallelProbe(t, opt)
+			for id, want := range serial {
+				if got := parallel[id]; got != want {
+					t.Errorf("%s: -parallel 8 output differs from -parallel 1:\n--- serial:\n%s\n--- parallel:\n%s", id, want, got)
+				}
+			}
+		})
+	}
+}
+
+// TestCellScopeIsOrderIndependent: under the default per-cell fault
+// scope, a cell's fault sequence is a function of its identity alone — so
+// an experiment's faulted cells must not change when an unrelated
+// experiment runs first (the exact coupling the legacy shared injector
+// exhibited across `-exp all`).
+func TestCellScopeIsOrderIndependent(t *testing.T) {
+	opt := Options{
+		MaxBudget: 20_000,
+		Workloads: []string{"camel"},
+		Faults: mem.FaultConfig{
+			Seed:             5,
+			LatencySpikeProb: 0.1, LatencySpikeCycles: 200,
+			DropPrefetchProb: 0.2,
+		},
+	}
+	alone, err := ExpF9MLP(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ExpF11Timeliness(opt); err != nil { // unrelated campaign traffic
+		t.Fatal(err)
+	}
+	after, err := ExpF9MLP(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alone.String() != after.String() {
+		t.Errorf("cell-scoped faults depend on campaign history:\n--- alone:\n%s\n--- after F11:\n%s", alone.String(), after.String())
+	}
+}
+
+// TestCampaignScopeForcesSerial: a shared injector is only deterministic
+// when cells execute in declaration order, so campaign scope must clamp
+// the worker pool to 1 regardless of the Parallel setting.
+func TestCampaignScopeForcesSerial(t *testing.T) {
+	opt := Options{Parallel: 8, FaultScope: FaultScopeCampaign}
+	if got := opt.parallel(); got != 1 {
+		t.Errorf("campaign scope parallel() = %d, want 1", got)
+	}
+	opt = Options{Parallel: 8}
+	opt.FaultInjector = mem.NewFaultInjector(mem.FaultConfig{Seed: 1, DropPrefetchProb: 0.5})
+	if got := opt.parallel(); got != 1 {
+		t.Errorf("explicit shared injector parallel() = %d, want 1", got)
+	}
+	if got := (&Options{Parallel: 8}).parallel(); got != 8 {
+		t.Errorf("cell scope parallel() = %d, want 8", got)
+	}
+}
+
+// TestSpeedupZeroGuards: zero-cycle or zero-instruction results on either
+// side of a Speedup must yield a finite 0, never NaN or Inf.
+func TestSpeedupZeroGuards(t *testing.T) {
+	ok := Result{Cycles: 1000, Instrs: 500}
+	for _, tc := range []struct {
+		name    string
+		base, r Result
+	}{
+		{"zero-instr run", ok, Result{Cycles: 1000}},
+		{"zero-cycle run", ok, Result{Instrs: 500}},
+		{"zero-instr base", Result{Cycles: 1000}, ok},
+		{"zero-cycle base", Result{Instrs: 500}, ok},
+		{"all zero", Result{}, Result{}},
+	} {
+		s := Speedup(tc.base, tc.r)
+		if s != 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+			t.Errorf("%s: Speedup = %v, want 0", tc.name, s)
+		}
+	}
+	if s := Speedup(ok, Result{Cycles: 500, Instrs: 500}); s != 2 {
+		t.Errorf("healthy pair: Speedup = %v, want 2", s)
+	}
+}
+
+// TestZeroCommitDegradesToError: a run that finishes without error but
+// commits nothing must become a table error (rendering as ERR), not a
+// NaN-poisoned row.
+func TestZeroCommitDegradesToError(t *testing.T) {
+	err := checkZeroCommit(Result{Cycles: 100, Instrs: 0}, "camel", TechVR)
+	var re *RunError
+	if !errors.As(err, &re) || !errors.Is(err, errZeroCommit) {
+		t.Fatalf("checkZeroCommit = %v, want *RunError wrapping errZeroCommit", err)
+	}
+	if re.Workload != "camel" || re.Tech != TechVR || re.Phase != "run" {
+		t.Errorf("error cell identity = %s/%s [%s]", re.Workload, re.Tech, re.Phase)
+	}
+	if err := checkZeroCommit(Result{Cycles: 100, Instrs: 1}, "camel", TechVR); err != nil {
+		t.Errorf("committed run flagged: %v", err)
 	}
 }

@@ -22,17 +22,29 @@ type Options struct {
 	ROBSizes []int
 	// VectorLengths overrides the F12 sweep points.
 	VectorLengths []int
-	// Progress, when set, receives one line per completed run.
+	// Progress, when set, receives one line per build/run event. Calls are
+	// serialized, so the callback needs no locking of its own; under
+	// parallel execution the delivery order follows completion order.
 	Progress func(msg string)
 	// WatchdogCycles overrides the forward-progress watchdog span
 	// (0 = the cpu package default).
 	WatchdogCycles uint64
+	// Parallel bounds how many simulation cells run concurrently
+	// (0 = GOMAXPROCS). Scheduling never changes results: rendered tables
+	// are byte-identical at every setting.
+	Parallel int
 	// Faults configures deterministic memory fault injection. The zero
 	// value disables injection.
 	Faults mem.FaultConfig
-	// FaultInjector, when non-nil, is shared by every run (campaign mode):
-	// count-based faults like PanicAfter fire in exactly one cell of the
-	// whole sweep. When nil and Faults is enabled, one is created lazily.
+	// FaultScope selects per-cell injectors (the default: each cell's
+	// fault sequence is derived from its identity, independent of
+	// execution order) or one campaign-shared injector. Campaign scope
+	// forces serial execution.
+	FaultScope FaultScope
+	// FaultInjector, when non-nil, is the campaign-shared injector: every
+	// cell uses it, count-based faults like PanicAfter fire in exactly one
+	// cell of the whole campaign, and execution is forced serial. Setting
+	// it implies FaultScopeCampaign.
 	FaultInjector *mem.FaultInjector
 }
 
@@ -58,47 +70,12 @@ func (o *Options) loadWorkloads(def []string) ([]*workloads.Workload, error) {
 			names = workloads.Names()
 		}
 	}
-	ws := make([]*workloads.Workload, 0, len(names))
-	for _, n := range names {
-		o.note("building %s", n)
-		w, err := workloads.ByName(n)
-		if err != nil {
-			return nil, err
-		}
-		ws = append(ws, w)
-	}
-	return ws, nil
-}
-
-func (o *Options) run(w *workloads.Workload, rc RunConfig) (Result, error) {
-	rc.MaxBudget = o.budget()
-	rc.WatchdogCycles = o.WatchdogCycles
-	if o.FaultInjector == nil && o.Faults.Enabled() {
-		if err := o.Faults.Validate(); err != nil {
-			return Result{}, &RunError{Workload: w.Name, Tech: rc.Tech, Phase: "setup", Err: err}
-		}
-		o.FaultInjector = mem.NewFaultInjector(o.Faults)
-	}
-	rc.FaultInjector = o.FaultInjector
-	o.note("running %s/%s", w.Name, rc.Tech)
-	return RunSupervised(w, rc)
+	return o.buildAll(names)
 }
 
 // errCell is what a failed run renders as in a table; the failure itself
 // lands in the table's Errors summary.
 const errCell = "ERR"
-
-// cell runs one workload/technique cell under supervision, degrading a
-// failure into a table error entry. ok=false means the caller should
-// render errCell and exclude the cell from any aggregate.
-func (o *Options) cell(t *Table, w *workloads.Workload, rc RunConfig) (Result, bool) {
-	r, err := o.run(w, rc)
-	if err != nil {
-		t.AddError(err)
-		return Result{}, false
-	}
-	return r, true
-}
 
 // sweepSet is the default workload subset for the expensive multi-point
 // sweeps (F2, F12): one representative per domain class.
@@ -129,8 +106,6 @@ func ExpT1Config() *Table {
 // pressure on the LLC (paper Table 2 analogue: nodes, edges, LLC MPKI
 // aggregated over the GAP kernels).
 func ExpT2Graphs(opt Options) (*Table, error) {
-	t := &Table{ID: "T2", Title: "Graph inputs (synthetic stand-ins for Table 2)",
-		Header: []string{"input", "kernel", "nodes", "edges", "LLC MPKI (ooo)"}}
 	// An ordered slice, not a map: the table's row order is part of the
 	// rendered output EXPERIMENTS.md is compared on, and a map would also
 	// let an input drift out of the (previously separate) iteration list.
@@ -141,18 +116,31 @@ func ExpT2Graphs(opt Options) (*Table, error) {
 		{"KR (Kronecker)", []string{"bfs_kr", "sssp_kr"}},
 		{"UR (uniform)", []string{"bfs_ur", "sssp_ur"}},
 	}
+	var names []string
 	for _, k := range kernels {
-		input := k.input
+		names = append(names, k.names...)
+	}
+	ws, err := opt.buildAll(names)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{ID: "T2", Title: "Graph inputs (synthetic stand-ins for Table 2)",
+		Header: []string{"input", "kernel", "nodes", "edges", "LLC MPKI (ooo)"}}
+	sw := opt.newSweep(t)
+	cells := make([]*sweepCell, len(ws))
+	for i, w := range ws {
+		cells[i] = sw.cell(w, DefaultRunConfig(TechOoO))
+	}
+	sw.run()
+	i := 0
+	for _, k := range kernels {
 		for _, name := range k.names {
-			w, err := workloads.ByName(name)
-			if err != nil {
-				return nil, err
-			}
 			mpki := errCell
-			if r, ok := opt.cell(t, w, DefaultRunConfig(TechOoO)); ok {
+			if r, ok := cells[i].result(); ok {
 				mpki = f(r.LLCMPKI)
 			}
-			t.AddRow(input, name, d(1<<workloads.DefaultGraphScale), "~"+d(uint64(1<<workloads.DefaultGraphScale)*8), mpki)
+			t.AddRow(k.input, name, d(1<<workloads.DefaultGraphScale), "~"+d(uint64(1<<workloads.DefaultGraphScale)*8), mpki)
+			i++
 		}
 	}
 	t.Notes = append(t.Notes, "paper inputs are 2111M/2147M-edge graphs; these are LLC-exceeding downscales")
@@ -176,11 +164,26 @@ func ExpF7Performance(opt Options) (*Table, []PerfRow, error) {
 	}
 	t := &Table{ID: "F7", Title: "Normalized performance (speedup over OoO baseline)",
 		Header: []string{"workload", "ooo", "pre", "imp", "vr", "oracle"}}
+	techs := []Technique{TechPRE, TechIMP, TechVR, TechOracle}
+	sw := opt.newSweep(t)
+	type wCells struct {
+		base *sweepCell
+		tech []*sweepCell
+	}
+	plan := make([]wCells, len(ws))
+	for i, w := range ws {
+		wc := wCells{base: sw.cell(w, DefaultRunConfig(TechOoO))}
+		for _, tech := range techs {
+			wc.tech = append(wc.tech, sw.cell(w, DefaultRunConfig(tech), wc.base))
+		}
+		plan[i] = wc
+	}
+	sw.run()
 	rows := make([]PerfRow, 0, len(ws))
 	sums := map[Technique][]float64{}
-	for _, w := range ws {
+	for i, w := range ws {
 		row := PerfRow{Workload: w.Name, Speedup: map[Technique]float64{}}
-		base, ok := opt.cell(t, w, DefaultRunConfig(TechOoO))
+		base, ok := plan[i].base.result()
 		if !ok {
 			// No baseline, nothing to normalize against: the whole row fails.
 			t.AddRow(w.Name, errCell, errCell, errCell, errCell, errCell)
@@ -189,8 +192,8 @@ func ExpF7Performance(opt Options) (*Table, []PerfRow, error) {
 		}
 		row.Speedup[TechOoO] = 1.0
 		cells := []string{w.Name, "1.00"}
-		for _, tech := range []Technique{TechPRE, TechIMP, TechVR, TechOracle} {
-			r, ok := opt.cell(t, w, DefaultRunConfig(tech))
+		for j, tech := range techs {
+			r, ok := plan[i].tech[j].result()
 			if !ok {
 				cells = append(cells, errCell)
 				continue
@@ -222,36 +225,48 @@ func ExpF2ROBSweep(opt Options) (*Table, error) {
 	}
 	t := &Table{ID: "F2", Title: "Performance and full-ROB stall time vs. ROB size (normalized to OoO@350)",
 		Header: []string{"ROB", "ooo perf", "vr perf", "vr gain", "window-stall (ooo)"}}
+	sw := opt.newSweep(t)
 
 	// Baseline at 350 per workload; a workload whose baseline fails drops
 	// out of every sweep point.
-	bases := make([]Result, len(ws))
-	baseOK := make([]bool, len(ws))
+	bases := make([]*sweepCell, len(ws))
 	for i, w := range ws {
 		rc := DefaultRunConfig(TechOoO)
 		rc.CPU = rc.CPU.WithROB(350)
-		bases[i], baseOK[i] = opt.cell(t, w, rc)
+		bases[i] = sw.cell(w, rc)
 	}
-	for _, size := range sizes {
-		var oooS, vrS, stall []float64
+	type point struct{ o, v *sweepCell }
+	points := make([][]point, len(sizes))
+	for si, size := range sizes {
+		points[si] = make([]point, len(ws))
 		for i, w := range ws {
-			if !baseOK[i] {
-				continue
-			}
 			rcO := DefaultRunConfig(TechOoO)
 			rcO.CPU = rcO.CPU.WithROB(size)
-			ro, ok := opt.cell(t, w, rcO)
-			if !ok {
-				continue
-			}
+			co := sw.cell(w, rcO, bases[i])
 			rcV := DefaultRunConfig(TechVR)
 			rcV.CPU = rcV.CPU.WithROB(size)
-			rv, ok := opt.cell(t, w, rcV)
+			cv := sw.cell(w, rcV, bases[i], co)
+			points[si][i] = point{o: co, v: cv}
+		}
+	}
+	sw.run()
+	for si, size := range sizes {
+		var oooS, vrS, stall []float64
+		for i := range ws {
+			base, ok := bases[i].result()
 			if !ok {
 				continue
 			}
-			oooS = append(oooS, Speedup(bases[i], ro))
-			vrS = append(vrS, Speedup(bases[i], rv))
+			ro, ok := points[si][i].o.result()
+			if !ok {
+				continue
+			}
+			rv, ok := points[si][i].v.result()
+			if !ok {
+				continue
+			}
+			oooS = append(oooS, Speedup(base, ro))
+			vrS = append(vrS, Speedup(base, rv))
 			stall = append(stall, ro.ResourceStallFrac)
 		}
 		if len(oooS) == 0 {
@@ -274,13 +289,14 @@ func ExpF8Ablation(opt Options) (*Table, error) {
 	}
 	t := &Table{ID: "F8", Title: "VR mechanism breakdown (speedup over OoO baseline)",
 		Header: []string{"workload", "pre", "vr vl=1", "vr no-delay", "vr full"}}
-	var sums [4][]float64
-	for _, w := range ws {
-		base, ok := opt.cell(t, w, DefaultRunConfig(TechOoO))
-		if !ok {
-			t.AddRow(w.Name, errCell, errCell, errCell, errCell)
-			continue
-		}
+	sw := opt.newSweep(t)
+	type wCells struct {
+		base *sweepCell
+		cfg  [4]*sweepCell
+	}
+	plan := make([]wCells, len(ws))
+	for i, w := range ws {
+		wc := wCells{base: sw.cell(w, DefaultRunConfig(TechOoO))}
 		configs := make([]RunConfig, 4)
 		configs[0] = DefaultRunConfig(TechPRE)
 		configs[1] = DefaultRunConfig(TechVR)
@@ -288,15 +304,28 @@ func ExpF8Ablation(opt Options) (*Table, error) {
 		configs[2] = DefaultRunConfig(TechVR)
 		configs[2].VR.DelayedTermination = false
 		configs[3] = DefaultRunConfig(TechVR)
+		for j, rc := range configs {
+			wc.cfg[j] = sw.cell(w, rc, wc.base)
+		}
+		plan[i] = wc
+	}
+	sw.run()
+	var sums [4][]float64
+	for i, w := range ws {
+		base, ok := plan[i].base.result()
+		if !ok {
+			t.AddRow(w.Name, errCell, errCell, errCell, errCell)
+			continue
+		}
 		cells := []string{w.Name}
-		for i, rc := range configs {
-			r, ok := opt.cell(t, w, rc)
+		for j := range plan[i].cfg {
+			r, ok := plan[i].cfg[j].result()
 			if !ok {
 				cells = append(cells, errCell)
 				continue
 			}
 			s := Speedup(base, r)
-			sums[i] = append(sums[i], s)
+			sums[j] = append(sums[j], s)
 			cells = append(cells, f(s))
 		}
 		t.AddRow(cells...)
@@ -315,13 +344,21 @@ func ExpF9MLP(opt Options) (*Table, error) {
 	}
 	t := &Table{ID: "F9", Title: "Memory-level parallelism (avg MSHRs in use per cycle)",
 		Header: []string{"workload", "ooo", "vr", "ratio"}}
-	for _, w := range ws {
-		ro, ok := opt.cell(t, w, DefaultRunConfig(TechOoO))
+	sw := opt.newSweep(t)
+	type pair struct{ o, v *sweepCell }
+	plan := make([]pair, len(ws))
+	for i, w := range ws {
+		co := sw.cell(w, DefaultRunConfig(TechOoO))
+		plan[i] = pair{o: co, v: sw.cell(w, DefaultRunConfig(TechVR), co)}
+	}
+	sw.run()
+	for i, w := range ws {
+		ro, ok := plan[i].o.result()
 		if !ok {
 			t.AddRow(w.Name, errCell, errCell, errCell)
 			continue
 		}
-		rv, ok := opt.cell(t, w, DefaultRunConfig(TechVR))
+		rv, ok := plan[i].v.result()
 		if !ok {
 			t.AddRow(w.Name, f(ro.MLP), errCell, errCell)
 			continue
@@ -345,13 +382,21 @@ func ExpF10AccuracyCoverage(opt Options) (*Table, error) {
 	}
 	t := &Table{ID: "F10", Title: "Off-chip traffic and coverage (VR vs. baseline)",
 		Header: []string{"workload", "ooo demand", "vr demand", "vr runahead", "traffic ratio", "coverage"}}
-	for _, w := range ws {
-		ro, ok := opt.cell(t, w, DefaultRunConfig(TechOoO))
+	sw := opt.newSweep(t)
+	type pair struct{ o, v *sweepCell }
+	plan := make([]pair, len(ws))
+	for i, w := range ws {
+		co := sw.cell(w, DefaultRunConfig(TechOoO))
+		plan[i] = pair{o: co, v: sw.cell(w, DefaultRunConfig(TechVR), co)}
+	}
+	sw.run()
+	for i, w := range ws {
+		ro, ok := plan[i].o.result()
 		if !ok {
 			t.AddRow(w.Name, errCell, errCell, errCell, errCell, errCell)
 			continue
 		}
-		rv, ok := opt.cell(t, w, DefaultRunConfig(TechVR))
+		rv, ok := plan[i].v.result()
 		if !ok {
 			t.AddRow(w.Name, d(ro.OffChipDemand), errCell, errCell, errCell, errCell)
 			continue
@@ -382,8 +427,14 @@ func ExpF11Timeliness(opt Options) (*Table, error) {
 	}
 	t := &Table{ID: "F11", Title: "Timeliness: first-use location of VR-prefetched lines",
 		Header: []string{"workload", "L1", "L2", "L3", "in-flight (late)"}}
-	for _, w := range ws {
-		rv, ok := opt.cell(t, w, DefaultRunConfig(TechVR))
+	sw := opt.newSweep(t)
+	cells := make([]*sweepCell, len(ws))
+	for i, w := range ws {
+		cells[i] = sw.cell(w, DefaultRunConfig(TechVR))
+	}
+	sw.run()
+	for i, w := range ws {
+		rv, ok := cells[i].result()
 		if !ok {
 			t.AddRow(w.Name, errCell, errCell, errCell, errCell)
 			continue
@@ -414,24 +465,33 @@ func ExpF12VectorLength(opt Options) (*Table, error) {
 	}
 	t := &Table{ID: "F12", Title: "Sensitivity to vector length (h-mean speedup over OoO)",
 		Header: []string{"lanes", "speedup", "MLP"}}
-	bases := make([]Result, len(ws))
-	baseOK := make([]bool, len(ws))
+	sw := opt.newSweep(t)
+	bases := make([]*sweepCell, len(ws))
 	for i, w := range ws {
-		bases[i], baseOK[i] = opt.cell(t, w, DefaultRunConfig(TechOoO))
+		bases[i] = sw.cell(w, DefaultRunConfig(TechOoO))
 	}
-	for _, vl := range vls {
-		var ss, mlps []float64
+	points := make([][]*sweepCell, len(vls))
+	for vi, vl := range vls {
+		points[vi] = make([]*sweepCell, len(ws))
 		for i, w := range ws {
-			if !baseOK[i] {
-				continue
-			}
 			rc := DefaultRunConfig(TechVR)
 			rc.VR.VectorLength = vl
-			r, ok := opt.cell(t, w, rc)
+			points[vi][i] = sw.cell(w, rc, bases[i])
+		}
+	}
+	sw.run()
+	for vi, vl := range vls {
+		var ss, mlps []float64
+		for i := range ws {
+			base, ok := bases[i].result()
 			if !ok {
 				continue
 			}
-			ss = append(ss, Speedup(bases[i], r))
+			r, ok := points[vi][i].result()
+			if !ok {
+				continue
+			}
+			ss = append(ss, Speedup(base, r))
 			mlps = append(mlps, r.MLP)
 		}
 		if len(ss) == 0 {
@@ -452,19 +512,29 @@ func ExpF13DelayedTermination(opt Options) (*Table, error) {
 	}
 	t := &Table{ID: "F13", Title: "Delayed termination: commit-hold time and its value",
 		Header: []string{"workload", "held cycles", "speedup w/", "speedup w/o"}}
-	for _, w := range ws {
-		base, ok := opt.cell(t, w, DefaultRunConfig(TechOoO))
+	sw := opt.newSweep(t)
+	type wCells struct{ base, on, off *sweepCell }
+	plan := make([]wCells, len(ws))
+	for i, w := range ws {
+		base := sw.cell(w, DefaultRunConfig(TechOoO))
+		on := sw.cell(w, DefaultRunConfig(TechVR), base)
+		rc := DefaultRunConfig(TechVR)
+		rc.VR.DelayedTermination = false
+		off := sw.cell(w, rc, base)
+		plan[i] = wCells{base: base, on: on, off: off}
+	}
+	sw.run()
+	for i, w := range ws {
+		base, ok := plan[i].base.result()
 		if !ok {
 			t.AddRow(w.Name, errCell, errCell, errCell)
 			continue
 		}
 		heldC, withC, withoutC := errCell, errCell, errCell
-		if on, ok := opt.cell(t, w, DefaultRunConfig(TechVR)); ok {
+		if on, ok := plan[i].on.result(); ok {
 			heldC, withC = pct(on.HeldFrac), f(Speedup(base, on))
 		}
-		rc := DefaultRunConfig(TechVR)
-		rc.VR.DelayedTermination = false
-		if off, ok := opt.cell(t, w, rc); ok {
+		if off, ok := plan[i].off.result(); ok {
 			withoutC = f(Speedup(base, off))
 		}
 		t.AddRow(w.Name, heldC, withC, withoutC)

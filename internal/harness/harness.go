@@ -372,9 +372,12 @@ func (in *instance) execute() (Result, error) {
 
 // Speedup returns r's performance normalized to base, comparing by
 // cycles-per-instruction over each run's own committed instructions (runs
-// may commit slightly different counts when budget-limited).
+// may commit slightly different counts when budget-limited). A run with
+// zero cycles or zero committed instructions on either side has no
+// defined CPI; such pairs return 0 (which aggregation ignores) rather
+// than letting a 0/0 NaN leak into table cells and harmonic means.
 func Speedup(base, r Result) float64 {
-	if r.Cycles == 0 || base.Instrs == 0 {
+	if r.Cycles == 0 || r.Instrs == 0 || base.Cycles == 0 || base.Instrs == 0 {
 		return 0
 	}
 	baseCPI := float64(base.Cycles) / float64(base.Instrs)

@@ -1,0 +1,311 @@
+// Deterministic parallel sweep engine. Every experiment driver declares
+// its simulation cells — one (workload, RunConfig) pair each, optionally
+// dependent on earlier cells — against a sweep, then calls run() to
+// execute them on a bounded worker pool. Results are read back by handle
+// and assembled into table rows by the driver in declaration order, and
+// the sweep records cell failures in declaration order too, so the
+// rendered output is byte-identical at any parallelism level: scheduling
+// only ever changes wall-clock time, never bytes.
+//
+// Fault injection is scoped per cell by default: each cell gets its own
+// injector whose seed is derived deterministically from (campaign seed,
+// workload, technique, cell index), making the fault sequence a property
+// of the cell rather than of execution order. The legacy campaign scope —
+// one injector shared across every cell, so count-based faults fire once
+// per campaign — survives as an explicit opt-in that forces serial,
+// declaration-order execution (the sharing is only meaningful, and only
+// race-free, in that order).
+
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"vrsim/internal/mem"
+	"vrsim/internal/workloads"
+)
+
+// FaultScope selects how fault-injection state is shared across the cells
+// of an experiment.
+type FaultScope int
+
+const (
+	// FaultScopeCell (the default) gives every cell a private injector
+	// derived deterministically from (Options.Faults.Seed, workload,
+	// technique, cell index). Fault sequences are independent of cell
+	// execution order, so sweeps parallelize without changing results;
+	// count-based faults (panic=N, hang=N) count per cell.
+	FaultScopeCell FaultScope = iota
+	// FaultScopeCampaign shares one injector across every cell, so
+	// count-based faults fire once per campaign in whichever cell reaches
+	// the count. Campaign scope forces serial, declaration-order
+	// execution; it preserves the legacy chaos-testing semantics.
+	FaultScopeCampaign
+)
+
+// String renders the scope as its flag spelling.
+func (fs FaultScope) String() string {
+	switch fs {
+	case FaultScopeCell:
+		return "cell"
+	case FaultScopeCampaign:
+		return "campaign"
+	default:
+		return fmt.Sprintf("FaultScope(%d)", int(fs))
+	}
+}
+
+// ParseFaultScope maps a flag value ("cell" or "campaign") to its scope.
+func ParseFaultScope(s string) (FaultScope, error) {
+	switch s {
+	case "cell":
+		return FaultScopeCell, nil
+	case "campaign":
+		return FaultScopeCampaign, nil
+	default:
+		return FaultScopeCell, fmt.Errorf("harness: unknown fault scope %q (want cell or campaign)", s)
+	}
+}
+
+// campaign reports whether the options demand campaign-scoped faults —
+// either explicitly, or implicitly by supplying a pre-built shared
+// injector.
+func (o *Options) campaign() bool {
+	return o.FaultScope == FaultScopeCampaign || o.FaultInjector != nil
+}
+
+// parallel returns the effective worker-pool bound: Parallel when set,
+// GOMAXPROCS otherwise, and always 1 under campaign-scoped faults (a
+// shared injector is consumed in cell declaration order, which only a
+// serial schedule preserves).
+func (o *Options) parallel() int {
+	if o.campaign() {
+		return 1
+	}
+	if o.Parallel > 0 {
+		return o.Parallel
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// errZeroCommit marks a run that finished without error but committed
+// nothing: its IPC, CPI and per-instruction rates are all 0/0, so letting
+// it into a table would poison cells and harmonic means with NaN.
+var errZeroCommit = errors.New("run committed 0 instructions; per-instruction metrics are undefined")
+
+// checkZeroCommit degrades a zero-instruction survivor into the
+// *RunError its table entry needs.
+func checkZeroCommit(res Result, w string, tech Technique) error {
+	if res.Instrs != 0 {
+		return nil
+	}
+	return &RunError{Workload: w, Tech: tech, Phase: "run", Err: errZeroCommit}
+}
+
+// sweepCell is one declared simulation: a workload under a configuration,
+// plus the dependency edges and the completion state the scheduler fills
+// in. Handles stay valid after run(); drivers read them back with result.
+type sweepCell struct {
+	idx  int
+	w    *workloads.Workload
+	rc   RunConfig
+	deps []*sweepCell
+
+	done chan struct{} // closed when the cell finished, failed or was skipped
+	res  Result
+	ok   bool
+	err  error // non-nil iff the cell itself failed (skipped cells carry none)
+}
+
+// result returns the cell's outcome; ok is false for failed and skipped
+// cells, which render as errCell and drop out of aggregates.
+func (c *sweepCell) result() (Result, bool) { return c.res, c.ok }
+
+// sweep owns one experiment's cells and the shared completion state.
+type sweep struct {
+	opt *Options
+	t   *Table
+
+	mu sync.Mutex // serializes Progress callbacks from worker goroutines
+
+	shared   *mem.FaultInjector // campaign scope: the one injector
+	faultErr error              // campaign scope: invalid fault config, reported per cell
+
+	cells []*sweepCell
+}
+
+// newSweep starts a sweep against t. Campaign-scoped faults resolve their
+// shared injector here: an explicitly supplied Options.FaultInjector wins
+// (vrbench uses one injector across all of -exp all); otherwise one is
+// built for this sweep, scoping counts to the single experiment.
+func (o *Options) newSweep(t *Table) *sweep {
+	s := &sweep{opt: o, t: t}
+	if o.campaign() {
+		switch {
+		case o.FaultInjector != nil:
+			s.shared = o.FaultInjector
+		case o.Faults.Enabled():
+			if err := o.Faults.Validate(); err != nil {
+				s.faultErr = err
+			} else {
+				s.shared = mem.NewFaultInjector(o.Faults)
+			}
+		}
+	}
+	return s
+}
+
+// cell declares one workload × configuration cell. Each cell in deps must
+// have completed successfully before this cell runs; if any dep fails (or
+// was itself skipped), this cell is skipped — ok=false from result, no
+// error of its own — matching the serial drivers' "no baseline, nothing
+// to normalize against" behaviour. Dependencies must be declared earlier
+// than their dependents, which also makes a serial declaration-order
+// schedule trivially dependency-correct.
+func (s *sweep) cell(w *workloads.Workload, rc RunConfig, deps ...*sweepCell) *sweepCell {
+	c := &sweepCell{idx: len(s.cells), w: w, rc: rc, deps: deps, done: make(chan struct{})}
+	for _, d := range deps {
+		if d.idx >= c.idx {
+			// A forward dependency is a driver-authoring bug, never a
+			// runtime condition: every driver's plan is fixed at compile
+			// time and any such edge trips on its first test run.
+			//vrlint:allow panicfree -- programmer-error assertion on a compile-time-fixed experiment plan; unreachable from user input
+			panic("harness: sweep cell depends on a cell declared after it")
+		}
+	}
+	s.cells = append(s.cells, c)
+	return c
+}
+
+// run executes every declared cell and then records all cell failures on
+// the table in declaration order. With an effective parallelism of 1 the
+// cells execute strictly in declaration order (the campaign fault scope
+// relies on this); otherwise up to parallel() cells run concurrently,
+// each gated on its dependencies, and only completion *timing* varies —
+// every per-cell result and the assembled error list are identical.
+func (s *sweep) run() {
+	if p := s.opt.parallel(); p <= 1 {
+		for _, c := range s.cells {
+			s.exec(c)
+		}
+	} else {
+		sem := make(chan struct{}, p)
+		var wg sync.WaitGroup
+		for _, c := range s.cells {
+			wg.Add(1)
+			go func(c *sweepCell) {
+				defer wg.Done()
+				// Wait for dependencies before taking a pool slot, so
+				// blocked cells cannot starve the runnable ones.
+				for _, d := range c.deps {
+					<-d.done
+				}
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				s.exec(c)
+			}(c)
+		}
+		wg.Wait()
+	}
+	for _, c := range s.cells {
+		if c.err != nil {
+			s.t.AddError(c.err)
+		}
+	}
+}
+
+// exec runs one cell (or skips it when a dependency failed), storing the
+// outcome on the cell.
+func (s *sweep) exec(c *sweepCell) {
+	defer close(c.done)
+	for _, d := range c.deps {
+		if !d.ok {
+			return
+		}
+	}
+	rc := c.rc
+	rc.MaxBudget = s.opt.budget()
+	rc.WatchdogCycles = s.opt.WatchdogCycles
+	switch {
+	case s.faultErr != nil:
+		c.err = &RunError{Workload: c.w.Name, Tech: rc.Tech, Phase: "setup", Err: s.faultErr}
+		return
+	case s.shared != nil:
+		rc.FaultInjector = s.shared
+	case s.opt.Faults.Enabled():
+		rc.Faults = s.opt.Faults.ForCell(c.w.Name, string(rc.Tech), c.idx)
+	}
+	s.note("[%s#%03d] running %s/%s", s.t.ID, c.idx, c.w.Name, rc.Tech)
+	res, err := RunSupervised(c.w, rc)
+	if err == nil {
+		err = checkZeroCommit(res, c.w.Name, rc.Tech)
+	}
+	if err != nil {
+		c.err = err
+		return
+	}
+	c.res, c.ok = res, true
+}
+
+// note emits one progress line, serializing concurrent workers onto the
+// user's Progress callback.
+func (s *sweep) note(format string, args ...any) {
+	if s.opt.Progress == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.opt.Progress(fmt.Sprintf(format, args...))
+}
+
+// buildAll materializes the named workloads, constructing up to
+// parallel() of them concurrently (graph synthesis dominates several
+// experiments' wall clock). Results are in name order, and the error
+// returned is the first failing name in that order regardless of
+// completion order.
+func (o *Options) buildAll(names []string) ([]*workloads.Workload, error) {
+	ws := make([]*workloads.Workload, len(names))
+	errs := make([]error, len(names))
+	p := o.parallel()
+	if p > len(names) {
+		p = len(names)
+	}
+	if p <= 1 {
+		for i, n := range names {
+			o.note("building %s", n)
+			ws[i], errs[i] = workloads.ByName(n)
+		}
+	} else {
+		var mu sync.Mutex
+		note := func(n string) {
+			if o.Progress == nil {
+				return
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			o.Progress(fmt.Sprintf("building %s", n))
+		}
+		sem := make(chan struct{}, p)
+		var wg sync.WaitGroup
+		for i, n := range names {
+			wg.Add(1)
+			go func(i int, n string) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				note(n)
+				ws[i], errs[i] = workloads.ByName(n)
+			}(i, n)
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return ws, nil
+}

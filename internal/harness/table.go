@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"text/tabwriter"
 )
 
@@ -19,13 +20,27 @@ type Table struct {
 	// snapshot). Rendered as a trailing summary; a non-empty list makes
 	// vrbench exit non-zero after printing everything.
 	Errors []string `json:",omitempty"`
+
+	// mu guards Rows and Errors so tables tolerate concurrent appends.
+	// The sweep engine nevertheless assembles rows and errors serially in
+	// declaration order after all cells complete — ordering, not just
+	// atomicity, is what keeps parallel output byte-identical.
+	mu sync.Mutex
 }
 
 // AddRow appends a row of stringified cells.
-func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+func (t *Table) AddRow(cells ...string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.Rows = append(t.Rows, cells)
+}
 
 // AddError records one failed cell in the table's error summary.
-func (t *Table) AddError(err error) { t.Errors = append(t.Errors, err.Error()) }
+func (t *Table) AddError(err error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.Errors = append(t.Errors, err.Error())
+}
 
 // String renders the table as aligned text.
 func (t *Table) String() string {

@@ -2,6 +2,7 @@ package mem
 
 import (
 	"fmt"
+	"hash/fnv"
 	"math/rand"
 )
 
@@ -72,6 +73,30 @@ func (c FaultConfig) Validate() error {
 		return fmt.Errorf("%w: MSHRStarveProb set with zero MSHRStarveCycles", ErrBadConfig)
 	}
 	return nil
+}
+
+// ForCell derives the cell-scoped variant of c for one sweep cell: the
+// same fault classes, rates and counts, but with Seed replaced by a value
+// mixed deterministically from (c.Seed, workload, tech, index). Every cell
+// of a sweep therefore owns an independent fault sequence that depends
+// only on the cell's identity — never on the order cells execute in — so
+// fault campaigns stay bit-reproducible under concurrency. Count-based
+// faults (PanicAfter, HangAfter) count per cell under this scoping; share
+// one injector across runs instead to keep campaign-global counts.
+func (c FaultConfig) ForCell(workload, tech string, index int) FaultConfig {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s|%s|%d", c.Seed, workload, tech, index)
+	c.Seed = int64(splitmix64(h.Sum64()))
+	return c
+}
+
+// splitmix64 is the SplitMix64 finalizer: a bijective mixer that spreads
+// the structured FNV input over the full seed space.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
 }
 
 // FaultStats counts the faults an injector actually delivered.

@@ -2,6 +2,7 @@ package mem
 
 import (
 	"errors"
+	"fmt"
 	"testing"
 )
 
@@ -95,4 +96,54 @@ func TestFaultInjectorDeterministic(t *testing.T) {
 	if a.Stats.LatencySpikes == 0 || a.Stats.PrefetchDrops == 0 {
 		t.Error("no faults drawn; the check is vacuous")
 	}
+}
+
+// TestForCellDeterministic: the per-cell derivation is a pure function of
+// (seed, workload, tech, index) — the same coordinates always produce the
+// same derived configuration, and only the seed changes.
+func TestForCellDeterministic(t *testing.T) {
+	base := FaultConfig{
+		Seed:               7,
+		LatencySpikeProb:   0.05,
+		LatencySpikeCycles: 300,
+		DropPrefetchProb:   0.1,
+		MSHRStarveProb:     0.02,
+		MSHRStarveCycles:   100,
+		PanicAfter:         5000,
+		HangAfter:          9000,
+	}
+	a := base.ForCell("camel", "vr", 3)
+	b := base.ForCell("camel", "vr", 3)
+	if a != b {
+		t.Errorf("same coordinates, different configs:\n%+v\n%+v", a, b)
+	}
+	// Everything but the seed is preserved: rates, cycles and counts are
+	// the campaign's, only the PRNG stream is re-keyed.
+	restored := a
+	restored.Seed = base.Seed
+	if restored != base {
+		t.Errorf("ForCell changed more than the seed:\n base %+v\n cell %+v", base, a)
+	}
+}
+
+// TestForCellSeedsDistinct: every coordinate — campaign seed, workload,
+// technique, and cell index — must steer the derived seed, so cells never
+// replay each other's fault sequences by accident.
+func TestForCellSeedsDistinct(t *testing.T) {
+	base := FaultConfig{Seed: 1, LatencySpikeProb: 0.1, LatencySpikeCycles: 10}
+	seeds := map[int64]string{}
+	add := func(label string, c FaultConfig) {
+		if prev, dup := seeds[c.Seed]; dup {
+			t.Errorf("seed collision between %s and %s", label, prev)
+		}
+		seeds[c.Seed] = label
+	}
+	for idx := 0; idx < 8; idx++ {
+		add(fmt.Sprintf("camel/vr#%d", idx), base.ForCell("camel", "vr", idx))
+	}
+	add("camel/ooo#0", base.ForCell("camel", "ooo", 0))
+	add("hj2/vr#0", base.ForCell("hj2", "vr", 0))
+	base2 := base
+	base2.Seed = 2
+	add("seed2 camel/vr#0", base2.ForCell("camel", "vr", 0))
 }
