@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint check bench
+.PHONY: build test lint check chaos bench
 
 build:
 	$(GO) build ./...
@@ -16,13 +16,21 @@ test:
 lint:
 	$(GO) run ./cmd/vrlint ./...
 
-# The full verification gate: static checks, a clean build, and the test
-# suite under the race detector.
+# Chaos smoke: a race-built vrbench campaign with seeded faults is
+# interrupted mid-journal and resumed; the resumed output must be
+# byte-identical to an uninterrupted run's, and the documented exit codes
+# (0/1/2/130) must hold. See scripts/chaos_smoke.sh.
+chaos:
+	./scripts/chaos_smoke.sh
+
+# The full verification gate: static checks, a clean build, the test
+# suite under the race detector, and the interrupt-and-resume chaos smoke.
 check:
 	$(GO) vet ./...
 	$(GO) run ./cmd/vrlint ./...
 	$(GO) build ./...
 	$(GO) test -race ./...
+	./scripts/chaos_smoke.sh
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .

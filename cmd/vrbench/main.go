@@ -8,6 +8,8 @@
 //	vrbench -exp f2 -workloads camel,hj8
 //	vrbench -exp f7 -faults spike=0.01,spikecycles=2000 -faultseed 7
 //	vrbench -exp all -parallel 8        # same bytes, more cores
+//	vrbench -exp all -checkpoint run.journal          # crash-safe campaign
+//	vrbench -exp all -checkpoint run.journal -resume  # continue it
 //
 // Experiment ids follow EXPERIMENTS.md: t1 t2 f2 f7 f8 f9 f10 f11 f12 f13 t3.
 //
@@ -19,9 +21,25 @@
 //
 // Runs are supervised: a crash or hang in one workload/technique cell
 // renders as ERR in its table (with the error and a machine-state snapshot
-// in the table's error summary) instead of aborting the campaign. vrbench
-// exits non-zero if any experiment failed or any cell degraded, but only
-// after every requested experiment has been attempted.
+// in the table's error summary) instead of aborting the campaign.
+// -celltimeout bounds each cell's wall clock, so a slow-livelocked cell
+// (which the no-commit watchdog cannot see) frees its worker slot;
+// -retries re-runs transiently failed cells (timeouts, watchdog trips)
+// with a per-attempt derived fault seed and -retrybackoff's deterministic
+// doubling delay.
+//
+// -checkpoint PATH appends every completed cell to a write-ahead journal
+// (fsynced records, atomic-rename creation); with -resume, completed
+// cells replay from the journal instead of re-simulating, and a campaign
+// fingerprint (flags, experiment list, module version) refuses to resume
+// a mismatched run. A resumed campaign's output is byte-identical to an
+// uninterrupted one's.
+//
+// SIGINT/SIGTERM shut down gracefully: the first signal drains in-flight
+// cells, flushes the journal, and renders the partial tables with a
+// CANCELLED summary; a second signal hard-cancels the in-flight cells
+// too. Exit codes: 0 success, 1 one or more cells or experiments failed,
+// 2 configuration error, 130 interrupted.
 //
 // Fault injection is scoped per cell by default: each cell derives its own
 // injector from (-faultseed, workload, technique, cell index), so the
@@ -29,49 +47,83 @@
 // count-based faults (panic=N, hang=N) count per cell. The legacy
 // behaviour — one injector shared across the whole campaign, count-based
 // faults firing in exactly one cell — survives as -faultscope=campaign,
-// which forces serial execution (it is incompatible with -parallel N>1).
+// which forces serial execution (it is incompatible with -parallel N>1,
+// -retries and -checkpoint).
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"vrsim/internal/harness"
 	"vrsim/internal/mem"
 )
 
+// Exit codes, documented in the README: configuration problems are
+// distinguishable from cell failures and from interruption.
+const (
+	exitOK        = 0
+	exitRunErr    = 1   // one or more experiments or cells failed
+	exitConfig    = 2   // bad flags / spec / journal fingerprint
+	exitInterrupt = 130 // campaign cancelled by SIGINT/SIGTERM (128+SIGINT)
+)
+
 func main() {
+	os.Exit(run())
+}
+
+// configErr reports a configuration problem and returns the config exit
+// code.
+func configErr(format string, args ...any) int {
+	fmt.Fprintf(os.Stderr, "vrbench: "+format+"\n", args...)
+	return exitConfig
+}
+
+func run() int {
 	var (
-		exp       = flag.String("exp", "f7", "experiment id (t1,t2,f2,f7..f13,t3,a1..a9,all,ablations)")
-		budget    = flag.Uint64("maxbudget", 1_000_000, "per-run instruction cap")
-		wl        = flag.String("workloads", "", "comma-separated workload subset (default: experiment's set)")
-		verbose   = flag.Bool("v", false, "print per-run progress to stderr")
-		format    = flag.String("format", "text", "output format: text|json")
-		faults    = flag.String("faults", "", "fault injection spec, comma-separated k=v: spike=P,spikecycles=N,drop=P,starve=P,starvecycles=N,panic=N,hang=N")
-		faultSeed = flag.Int64("faultseed", 1, "fault injection RNG seed")
-		scope     = flag.String("faultscope", "cell", "fault injection scope: cell (per-cell deterministic injectors) or campaign (one shared injector, serial execution)")
-		watchdog  = flag.Uint64("watchdog", 0, "abort a run after this many cycles without a commit (0 = default)")
-		parallelN = flag.Int("parallel", 0, "max concurrent simulation cells (0 = GOMAXPROCS); output is byte-identical at any setting")
+		exp        = flag.String("exp", "f7", "experiment id (t1,t2,f2,f7..f13,t3,a1..a9,all,ablations)")
+		budget     = flag.Uint64("maxbudget", 1_000_000, "per-run instruction cap")
+		wl         = flag.String("workloads", "", "comma-separated workload subset (default: experiment's set)")
+		verbose    = flag.Bool("v", false, "print per-run progress to stderr")
+		format     = flag.String("format", "text", "output format: text|json")
+		faults     = flag.String("faults", "", "fault injection spec, comma-separated k=v: spike=P,spikecycles=N,drop=P,starve=P,starvecycles=N,panic=N,hang=N")
+		faultSeed  = flag.Int64("faultseed", 1, "fault injection RNG seed")
+		scope      = flag.String("faultscope", "cell", "fault injection scope: cell (per-cell deterministic injectors) or campaign (one shared injector, serial execution)")
+		watchdog   = flag.Uint64("watchdog", 0, "abort a run after this many cycles without a commit (0 = default)")
+		parallelN  = flag.Int("parallel", 0, "max concurrent simulation cells (0 = GOMAXPROCS); output is byte-identical at any setting")
+		cellTO     = flag.Duration("celltimeout", 0, "wall-clock deadline per cell, e.g. 90s (0 = none)")
+		retries    = flag.Int("retries", 0, "re-run transiently failed cells (timeout, watchdog) up to N extra attempts")
+		backoff    = flag.Duration("retrybackoff", 0, "base delay before a retry, doubling per attempt (deterministic, no jitter)")
+		checkpoint = flag.String("checkpoint", "", "write-ahead journal path: append every completed cell for -resume")
+		resume     = flag.Bool("resume", false, "replay completed cells from the -checkpoint journal instead of re-simulating")
 	)
 	flag.Parse()
 
 	faultScope, err := harness.ParseFaultScope(*scope)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "vrbench: -faultscope: %v\n", err)
-		os.Exit(2)
+		return configErr("-faultscope: %v", err)
 	}
 	if faultScope == harness.FaultScopeCampaign && *parallelN > 1 {
-		fmt.Fprintln(os.Stderr, "vrbench: -faultscope=campaign shares one injector across cells and requires serial execution; drop -parallel or use -faultscope=cell")
-		os.Exit(2)
+		return configErr("-faultscope=campaign shares one injector across cells and requires serial execution; drop -parallel or use -faultscope=cell")
+	}
+	if faultScope == harness.FaultScopeCampaign && (*retries > 0 || *checkpoint != "") {
+		return configErr("-faultscope=campaign threads one injector's state through every cell in order; -retries and -checkpoint are incompatible with it")
 	}
 	if *parallelN < 0 {
-		fmt.Fprintf(os.Stderr, "vrbench: -parallel %d: want >= 0\n", *parallelN)
-		os.Exit(2)
+		return configErr("-parallel %d: want >= 0", *parallelN)
+	}
+	if *retries < 0 {
+		return configErr("-retries %d: want >= 0", *retries)
+	}
+	if *resume && *checkpoint == "" {
+		return configErr("-resume needs -checkpoint PATH to resume from")
 	}
 
 	opt := harness.Options{
@@ -79,6 +131,9 @@ func main() {
 		WatchdogCycles: *watchdog,
 		Parallel:       *parallelN,
 		FaultScope:     faultScope,
+		CellTimeout:    *cellTO,
+		MaxRetries:     *retries,
+		RetryBackoff:   *backoff,
 	}
 	if *wl != "" {
 		opt.Workloads = strings.Split(*wl, ",")
@@ -90,10 +145,9 @@ func main() {
 		}
 	}
 	if *faults != "" {
-		fc, err := parseFaults(*faults, *faultSeed)
+		fc, err := mem.ParseFaultSpec(*faults, *faultSeed)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "vrbench: -faults: %v\n", err)
-			os.Exit(2)
+			return configErr("-faults: %v", err)
 		}
 		opt.Faults = fc
 		if faultScope == harness.FaultScopeCampaign {
@@ -105,14 +159,76 @@ func main() {
 	}
 
 	ids := []string{*exp}
-	if *exp == "all" {
+	switch *exp {
+	case "all":
 		ids = []string{"t1", "t2", "f2", "f7", "f8", "f9", "f10", "f11", "f12", "f13", "t3"}
-	} else if *exp == "ablations" {
+	case "ablations":
 		ids = []string{"a1", "a2", "a3", "a4", "a5", "a6", "a7", "a8", "a9"}
 	}
-	failed := false
 	for _, id := range ids {
-		degraded, err := runExp(id, opt, *format)
+		if !knownExperiment(id) {
+			return configErr("unknown experiment %q", id)
+		}
+	}
+
+	if *checkpoint != "" {
+		fp := opt.Fingerprint(ids)
+		var j *harness.Journal
+		var jerr error
+		if *resume {
+			if _, serr := os.Stat(*checkpoint); serr != nil && os.IsNotExist(serr) {
+				// Nothing to resume yet: start fresh so restart loops can
+				// pass the same flags on the first and the Nth launch.
+				fmt.Fprintf(os.Stderr, "vrbench: -resume: no journal at %s yet; starting fresh\n", *checkpoint)
+				j, jerr = harness.CreateJournal(*checkpoint, fp)
+			} else {
+				j, jerr = harness.ResumeJournal(*checkpoint, fp)
+				if jerr == nil {
+					fmt.Fprintf(os.Stderr, "vrbench: resuming: %d completed cells replay from %s\n", j.Replayed(), *checkpoint)
+				}
+			}
+		} else {
+			if _, serr := os.Stat(*checkpoint); serr == nil {
+				return configErr("-checkpoint %s already exists; pass -resume to continue that campaign or remove the file", *checkpoint)
+			}
+			j, jerr = harness.CreateJournal(*checkpoint, fp)
+		}
+		if jerr != nil {
+			return configErr("-checkpoint: %v", jerr)
+		}
+		defer j.Close()
+		opt.Journal = j
+	}
+
+	// Graceful shutdown: the first SIGINT/SIGTERM stops new cells from
+	// starting and drains the in-flight ones (the journal keeps every
+	// completed cell); a second signal hard-cancels the in-flight cells
+	// through their cycle-loop context check.
+	softCtx, softCancel := context.WithCancel(context.Background())
+	hardCtx, hardCancel := context.WithCancel(context.Background())
+	defer hardCancel()
+	defer softCancel()
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	go func() {
+		if _, ok := <-sig; !ok {
+			return
+		}
+		fmt.Fprintln(os.Stderr, "vrbench: interrupted: draining in-flight cells; partial tables follow (interrupt again to abort the in-flight cells)")
+		softCancel()
+		if _, ok := <-sig; !ok {
+			return
+		}
+		fmt.Fprintln(os.Stderr, "vrbench: interrupted again: cancelling in-flight cells")
+		hardCancel()
+	}()
+	opt.Ctx = softCtx
+	opt.AbortCtx = hardCtx
+
+	failed, cancelled := false, false
+	for _, id := range ids {
+		degraded, wasCancelled, err := runExp(id, opt, *format)
 		if err != nil {
 			// Keep going: the remaining experiments still produce their
 			// tables; the campaign reports failure at the end.
@@ -120,67 +236,33 @@ func main() {
 			failed = true
 			continue
 		}
-		if degraded {
-			failed = true
-		}
+		failed = failed || degraded
+		cancelled = cancelled || wasCancelled
 	}
-	if failed {
-		os.Exit(1)
+	switch {
+	case cancelled || softCtx.Err() != nil:
+		return exitInterrupt
+	case failed:
+		return exitRunErr
 	}
+	return exitOK
 }
 
-// parseFaults builds a fault-injection config from a comma-separated
-// k=v spec, e.g. "spike=0.01,spikecycles=2000,panic=50000".
-func parseFaults(spec string, seed int64) (mem.FaultConfig, error) {
-	fc := mem.FaultConfig{Seed: seed}
-	for _, kv := range strings.Split(spec, ",") {
-		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
-		if !ok {
-			return fc, fmt.Errorf("bad entry %q (want key=value)", kv)
-		}
-		switch k {
-		case "spike", "drop", "starve":
-			p, err := strconv.ParseFloat(v, 64)
-			if err != nil {
-				return fc, fmt.Errorf("%s: %v", k, err)
-			}
-			switch k {
-			case "spike":
-				fc.LatencySpikeProb = p
-			case "drop":
-				fc.DropPrefetchProb = p
-			case "starve":
-				fc.MSHRStarveProb = p
-			}
-		case "spikecycles", "starvecycles", "panic", "hang":
-			n, err := strconv.ParseUint(v, 10, 64)
-			if err != nil {
-				return fc, fmt.Errorf("%s: %v", k, err)
-			}
-			switch k {
-			case "spikecycles":
-				fc.LatencySpikeCycles = n
-			case "starvecycles":
-				fc.MSHRStarveCycles = n
-			case "panic":
-				fc.PanicAfter = n
-			case "hang":
-				fc.HangAfter = n
-			}
-		default:
-			return fc, fmt.Errorf("unknown key %q", k)
-		}
-	}
-	if err := fc.Validate(); err != nil {
-		return fc, err
-	}
-	return fc, nil
+// experimentIDs is the set runExp dispatches on.
+var experimentIDs = map[string]bool{
+	"t1": true, "t2": true, "f2": true, "f7": true, "f8": true, "f9": true,
+	"f10": true, "f11": true, "f12": true, "f13": true, "t3": true,
+	"a1": true, "a2": true, "a3": true, "a4": true, "a5": true, "a6": true,
+	"a7": true, "a8": true, "a9": true,
 }
+
+func knownExperiment(id string) bool { return experimentIDs[id] }
 
 // runExp runs one experiment. degraded reports that the experiment
 // completed but one or more of its cells failed (the table carries the
-// error summary).
-func runExp(id string, opt harness.Options, format string) (degraded bool, err error) {
+// error summary); cancelled reports that the campaign was interrupted
+// out of running some of its cells.
+func runExp(id string, opt harness.Options, format string) (degraded, cancelled bool, err error) {
 	var t *harness.Table
 	switch id {
 	case "t1":
@@ -224,17 +306,18 @@ func runExp(id string, opt harness.Options, format string) (degraded bool, err e
 	case "a9":
 		t, err = harness.ExpA9ExtraWork(opt)
 	default:
-		return false, fmt.Errorf("unknown experiment %q", id)
+		return false, false, fmt.Errorf("unknown experiment %q", id)
 	}
 	if err != nil {
-		return false, err
+		return false, false, err
 	}
 	degraded = len(t.Errors) > 0
+	cancelled = t.Cancelled > 0
 	if format == "json" {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		return degraded, enc.Encode(t)
+		return degraded, cancelled, enc.Encode(t)
 	}
 	fmt.Println(t.String())
-	return degraded, nil
+	return degraded, cancelled, nil
 }

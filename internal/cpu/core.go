@@ -404,8 +404,20 @@ func (c *Core) ResetStats() {
 // forward-progress watchdog fires (ErrNoProgress); limit violations are
 // reported as errors.
 func (c *Core) Run(budget uint64) error {
+	return c.RunChecked(budget, 0, nil)
+}
+
+// RunChecked is Run with a periodic interrupt hook: every `every` cycles
+// the check function is consulted, and a non-nil return aborts the run
+// with that error. The supervision layer uses it to impose wall-clock
+// deadlines and cancellation on a cell without the core itself ever
+// reading a clock (which would break simulator determinism); the hot loop
+// pays one nil test plus a counter per cycle, and nothing at all through
+// Run. A nil check (or every == 0) disables the hook.
+func (c *Core) RunChecked(budget, every uint64, check func() error) error {
 	lastCommitted := c.Stats.Committed
 	lastProgress := c.cycle
+	var tick uint64
 	for !c.halted && (budget == 0 || c.Stats.Committed < budget) {
 		if c.cfg.MaxCycles != 0 && c.cycle >= c.cfg.MaxCycles {
 			return fmt.Errorf("cpu: cycle limit %d exceeded at pc=%d (committed %d)",
@@ -418,6 +430,15 @@ func (c *Core) Run(budget uint64) error {
 			} else if c.cycle >= lastProgress && c.cycle-lastProgress >= c.cfg.WatchdogCycles {
 				return fmt.Errorf("%w: no commit in %d cycles (cycle %d, fetch pc=%d, committed %d)",
 					ErrNoProgress, c.cfg.WatchdogCycles, c.cycle, c.fetchPC, c.Stats.Committed)
+			}
+		}
+		if check != nil && every != 0 {
+			tick++
+			if tick >= every {
+				tick = 0
+				if err := check(); err != nil {
+					return err
+				}
 			}
 		}
 		c.Step()

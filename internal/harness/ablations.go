@@ -9,6 +9,12 @@ import (
 // design choices DESIGN.md calls out — how much of Vector Runahead's
 // benefit depends on MSHR capacity, DRAM bandwidth, branch prediction
 // quality, and the always-on stride prefetcher.
+//
+// Like the paper-figure drivers in experiments.go, every ablation
+// declares its cells against the sweep engine, so the campaign
+// resilience machinery — per-cell deadlines, transient-failure retries,
+// checkpoint/resume and graceful cancellation (DESIGN.md §10) — applies
+// here without any per-driver code.
 
 // pairSweep covers the common ablation shape: for each point of a sweep
 // and each workload, one OoO run and one VR run (the VR cell dependent on

@@ -1,7 +1,9 @@
 package harness
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"vrsim/internal/core"
 	"vrsim/internal/cpu"
@@ -46,6 +48,56 @@ type Options struct {
 	// cell of the whole campaign, and execution is forced serial. Setting
 	// it implies FaultScopeCampaign.
 	FaultInjector *mem.FaultInjector
+	// CellTimeout bounds each cell's wall-clock time (0 = no deadline): a
+	// cell that exceeds it aborts with ErrCellTimeout and a machine
+	// snapshot, freeing its worker slot. The deadline is enforced by a
+	// periodic context check inside the cycle loop, never by a clock read
+	// in the simulator itself.
+	CellTimeout time.Duration
+	// MaxRetries re-runs a cell whose failure classifies as transient
+	// (RunError.Transient: timeouts and watchdog trips) up to this many
+	// additional attempts, each with a fault seed derived for that attempt
+	// (mem.FaultConfig.ForCellAttempt). Permanent failures — bad configs,
+	// panics, cancellation — never retry. Ignored under campaign-scoped
+	// faults, whose shared injector would make retries order-dependent.
+	MaxRetries int
+	// RetryBackoff is the base delay before the first retry, doubling per
+	// attempt (deterministic, no jitter; capped at base<<6). 0 retries
+	// immediately.
+	RetryBackoff time.Duration
+	// Journal, when non-nil, records every completed cell for
+	// checkpoint/resume: cells present in the journal replay their stored
+	// outcome instead of re-simulating. Incompatible with campaign-scoped
+	// faults (the shared injector's state depends on every cell actually
+	// executing); the sweep engine ignores the journal in that case.
+	Journal *Journal
+	// Ctx, when non-nil, soft-cancels the campaign: once done, cells that
+	// have not started are marked cancelled — rendered as ERR cells plus a
+	// CANCELLED table summary — while in-flight cells drain to completion.
+	// nil behaves as context.Background().
+	Ctx context.Context
+	// AbortCtx, when non-nil, hard-cancels in-flight cells: it is
+	// consulted every few thousand cycles inside each cell's cycle loop
+	// and aborts the run with ErrCancelled once done. Drivers typically
+	// derive it from the same signal source as Ctx (first interrupt
+	// drains, second aborts).
+	AbortCtx context.Context
+}
+
+// softCtx returns the campaign's soft-cancellation context.
+func (o *Options) softCtx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
+}
+
+// abortCtx returns the campaign's hard-cancellation context.
+func (o *Options) abortCtx() context.Context {
+	if o.AbortCtx != nil {
+		return o.AbortCtx
+	}
+	return context.Background()
 }
 
 func (o *Options) budget() uint64 {

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"encoding/json"
 	"errors"
 	"math/rand"
 	"testing"
@@ -165,6 +166,44 @@ func FuzzConfigValidate(f *testing.F) {
 		var re *RunError
 		if errors.As(err, &re) && re.Stack != nil {
 			t.Fatalf("config escaped validation and panicked: %v", err)
+		}
+	})
+}
+
+// FuzzJournalDecode drives arbitrary byte images through the campaign
+// journal decoder. The property: no input may panic, and every record the
+// decoder does return must be structurally valid (a cell key plus exactly
+// one outcome) — corruption degrades to "re-simulate that cell", never to
+// a bad replay. A journal that round-trips an intact prefix must also
+// yield exactly that prefix's records.
+func FuzzJournalDecode(f *testing.F) {
+	hdr, _ := json.Marshal(journalHeader{Journal: journalMagic, Version: journalVersion,
+		Fingerprint: Fingerprint{Module: "vrsim@test", MaxBudget: 1000, FaultScope: "cell"}})
+	rec, _ := json.Marshal(Record{Exp: "F9", Index: 0, Workload: "camel", Tech: "ooo",
+		Attempts: 1, Result: &Result{Workload: "camel", Tech: TechOoO, Cycles: 10, Instrs: 5}})
+	errRec, _ := json.Marshal(Record{Exp: "F9", Index: 1, Workload: "hj2", Tech: "vr",
+		Attempts: 2, Err: "hj2/vr [run]: boom"})
+	full := string(hdr) + "\n" + string(rec) + "\n" + string(errRec) + "\n"
+	f.Add(full)
+	f.Add(full[:len(full)/2])                                       // torn mid-record
+	f.Add(string(hdr) + "\n")                                       // header only
+	f.Add(string(hdr) + "\n{\"Exp\":\"F9\"}\n")                     // structurally invalid record
+	f.Add(string(hdr) + "\nnot json at all\n" + string(rec) + "\n") // corrupt middle
+	f.Add("")
+	f.Add("{}")
+	f.Add("\x00\xff garbage")
+	f.Fuzz(func(t *testing.T, data string) {
+		hdr, recs, err := decodeJournal([]byte(data))
+		if err != nil {
+			return
+		}
+		if hdr.Journal != journalMagic || hdr.Version != journalVersion {
+			t.Fatalf("decoder accepted a non-journal header: %+v", hdr)
+		}
+		for i := range recs {
+			if !recs[i].valid() {
+				t.Fatalf("decoder returned invalid record %d: %+v", i, recs[i])
+			}
 		}
 	})
 }

@@ -6,6 +6,8 @@
 package harness
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 
@@ -195,6 +197,10 @@ type instance struct {
 	vr   *core.VR
 	pre  *core.PRE
 	ra   *core.ClassicRA
+
+	// ctx, when cancellable, is consulted every ctxCheckCycles cycles of
+	// execution; see RunSupervisedContext. nil means context.Background().
+	ctx context.Context
 }
 
 // newInstance validates the configuration and assembles the simulation.
@@ -273,6 +279,34 @@ func Run(w *workloads.Workload, rc RunConfig) (Result, error) {
 	return res, nil
 }
 
+// ctxCheckCycles is how many simulated cycles pass between consultations
+// of a cancellable run context: frequent enough that deadlines and
+// cancellation land within milliseconds of wall clock, rare enough that
+// the cycle loop's cost is one counter and one predictable branch.
+const ctxCheckCycles = 4096
+
+// ctxCheck returns the periodic interrupt check for the instance's
+// context, classifying an expired deadline as ErrCellTimeout and a
+// cancellation as ErrCancelled; nil when the context can never fire, so
+// the cycle loop pays nothing on the default path.
+func (in *instance) ctxCheck() func() error {
+	ctx := in.ctx
+	if ctx == nil || ctx.Done() == nil {
+		return nil
+	}
+	return func() error {
+		err := ctx.Err()
+		switch {
+		case err == nil:
+			return nil
+		case errors.Is(err, context.DeadlineExceeded):
+			return ErrCellTimeout
+		default:
+			return ErrCancelled
+		}
+	}
+}
+
 // execute runs the assembled simulation and collects its metrics.
 func (in *instance) execute() (Result, error) {
 	w, rc, c, hier := in.w, in.rc, in.c, in.hier
@@ -285,16 +319,25 @@ func (in *instance) execute() (Result, error) {
 	if rc.MaxBudget != 0 && budget > rc.MaxBudget {
 		budget = rc.MaxBudget
 	}
+	// Deadline/cancellation plumbing: check once up front (a cell whose
+	// deadline already passed must not run at all), then periodically
+	// inside both cycle loops below.
+	check := in.ctxCheck()
+	if check != nil {
+		if err := check(); err != nil {
+			return Result{}, err
+		}
+	}
 	// Region of interest: run the initialization phase, then reset every
 	// statistic (keeping caches, predictors and in-flight state warm).
 	if w.SkipInstrs > 0 {
-		if err := c.Run(w.SkipInstrs); err != nil {
+		if err := c.RunChecked(w.SkipInstrs, ctxCheckCycles, check); err != nil {
 			return Result{}, fmt.Errorf("init: %w", err)
 		}
 		c.ResetStats()
 		hier.ResetStats()
 	}
-	if err := c.Run(budget); err != nil {
+	if err := c.RunChecked(budget, ctxCheckCycles, check); err != nil {
 		return Result{}, err
 	}
 

@@ -1,0 +1,78 @@
+// Failure classification and retry policy for the sweep engine. A cell
+// that fails for a transient reason — a wall-clock deadline, a tripped
+// forward-progress watchdog (the signature of injected latency, starve
+// and drop faults) — may succeed when re-run, so the scheduler re-enqueues
+// it up to Options.MaxRetries times with a deterministic doubling backoff
+// and a per-attempt derived fault seed. Permanent failures — invalid
+// configurations, panics, cancellation — never retry.
+
+package harness
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// ErrCellTimeout reports that a cell exceeded Options.CellTimeout. It is
+// detected by the periodic context check inside the cycle loop, so the
+// accompanying snapshot records where the machine was when the deadline
+// was noticed. errors.Is(err, ErrCellTimeout) works through *RunError.
+var ErrCellTimeout = errors.New("harness: cell exceeded its wall-clock deadline")
+
+// ErrCancelled reports that a cell was aborted (or never started) because
+// the campaign was cancelled. Cancelled cells are not retried and not
+// journaled: on resume they simply run. errors.Is(err, ErrCancelled)
+// works through *RunError.
+var ErrCancelled = errors.New("harness: campaign cancelled")
+
+// Transient reports whether the failure may plausibly succeed on a
+// retry: run-phase wall-clock deadlines (ErrCellTimeout) and watchdog
+// trips (ErrNoProgress — how injected latency spikes, MSHR starvation
+// and hang faults manifest). Setup errors (ErrBadConfig and friends),
+// recovered panics (Stack != nil) and cancellation are permanent:
+// re-running them wastes a worker slot on a foregone conclusion.
+// Drivers should classify with this method and the errors.Is targets
+// (ErrCellTimeout, ErrNoProgress, ErrCancelled) — never by matching
+// phase or message strings.
+func (e *RunError) Transient() bool {
+	if e.Phase != "run" || e.Stack != nil {
+		return false
+	}
+	return errors.Is(e.Err, ErrCellTimeout) || errors.Is(e.Err, ErrNoProgress)
+}
+
+// maxBackoffShift caps the exponential backoff at base << maxBackoffShift
+// so a long retry ladder cannot sleep into the hours.
+const maxBackoffShift = 6
+
+// retryBackoff returns the delay before retry attempt n (1-based): the
+// configured base doubled per attempt, capped, with no jitter — the same
+// campaign always waits the same schedule, keeping interrupted-and-resumed
+// timing behaviour reproducible in tests.
+func retryBackoff(base time.Duration, attempt int) time.Duration {
+	if base <= 0 || attempt <= 0 {
+		return 0
+	}
+	shift := attempt - 1
+	if shift > maxBackoffShift {
+		shift = maxBackoffShift
+	}
+	return base << shift
+}
+
+// sleepBackoff waits out a backoff delay, returning early (with the
+// context's error) if the campaign is cancelled while waiting.
+func sleepBackoff(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -19,6 +19,7 @@
 package harness
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -114,10 +115,13 @@ type sweepCell struct {
 	rc   RunConfig
 	deps []*sweepCell
 
-	done chan struct{} // closed when the cell finished, failed or was skipped
-	res  Result
-	ok   bool
-	err  error // non-nil iff the cell itself failed (skipped cells carry none)
+	done      chan struct{} // closed when the cell finished, failed or was skipped
+	res       Result
+	ok        bool
+	err       error // non-nil iff the cell itself failed (skipped cells carry none)
+	attempts  int   // execution attempts (>1 means retried; preserved across journal replay)
+	replayed  bool  // outcome came from the checkpoint journal, not a simulation
+	cancelled bool  // campaign cancelled before (or while) this cell ran
 }
 
 // result returns the cell's outcome; ok is false for failed and skipped
@@ -134,6 +138,11 @@ type sweep struct {
 	shared   *mem.FaultInjector // campaign scope: the one injector
 	faultErr error              // campaign scope: invalid fault config, reported per cell
 
+	// runFn executes one cell attempt; it is RunSupervisedContext except
+	// in tests, which substitute scripted outcomes to exercise the retry
+	// and cancellation machinery without real simulations.
+	runFn func(ctx context.Context, w *workloads.Workload, rc RunConfig) (Result, error)
+
 	cells []*sweepCell
 }
 
@@ -142,7 +151,7 @@ type sweep struct {
 // (vrbench uses one injector across all of -exp all); otherwise one is
 // built for this sweep, scoping counts to the single experiment.
 func (o *Options) newSweep(t *Table) *sweep {
-	s := &sweep{opt: o, t: t}
+	s := &sweep{opt: o, t: t, runFn: RunSupervisedContext}
 	if o.campaign() {
 		switch {
 		case o.FaultInjector != nil:
@@ -210,21 +219,65 @@ func (s *sweep) run() {
 		}
 		wg.Wait()
 	}
+	// Post-run assembly, all in declaration order so rendered output is
+	// byte-identical at every parallelism level: retry notes, cell
+	// failures, and the cancellation count. Replayed cells regenerate the
+	// same notes and errors from their journal records, keeping a resumed
+	// campaign's output byte-identical to an uninterrupted one's.
+	cancelled := 0
 	for _, c := range s.cells {
+		if c.cancelled {
+			cancelled++
+		}
+		if c.attempts > 1 {
+			outcome := "recovered"
+			if c.err != nil || c.cancelled {
+				outcome = "gave up"
+			}
+			s.t.AddNote(fmt.Sprintf("[%s#%03d] %s/%s %s after %d attempts",
+				s.t.ID, c.idx, c.w.Name, c.rc.Tech, outcome, c.attempts))
+		}
 		if c.err != nil {
 			s.t.AddError(c.err)
 		}
 	}
+	if cancelled > 0 {
+		s.t.markCancelled(cancelled)
+	}
+}
+
+// journal returns the campaign journal, or nil when journaling is off or
+// meaningless (campaign-scoped faults thread one injector's state through
+// every cell in order, so replaying a subset would change the remainder).
+func (s *sweep) journal() *Journal {
+	if s.opt.campaign() {
+		return nil
+	}
+	return s.opt.Journal
 }
 
 // exec runs one cell (or skips it when a dependency failed), storing the
-// outcome on the cell.
+// outcome on the cell: journal replay first, then up to 1+MaxRetries
+// supervised attempts under the cell deadline, then a journal append.
 func (s *sweep) exec(c *sweepCell) {
 	defer close(c.done)
+	skip := false
 	for _, d := range c.deps {
-		if !d.ok {
-			return
+		if d.cancelled {
+			// A cell whose dependency was cancelled is itself a casualty
+			// of the cancellation, not of a simulation failure.
+			c.cancelled = true
 		}
+		if !d.ok {
+			skip = true
+		}
+	}
+	if skip {
+		return
+	}
+	if s.opt.softCtx().Err() != nil {
+		c.cancelled = true
+		return
 	}
 	rc := c.rc
 	rc.MaxBudget = s.opt.budget()
@@ -235,19 +288,90 @@ func (s *sweep) exec(c *sweepCell) {
 		return
 	case s.shared != nil:
 		rc.FaultInjector = s.shared
-	case s.opt.Faults.Enabled():
-		rc.Faults = s.opt.Faults.ForCell(c.w.Name, string(rc.Tech), c.idx)
 	}
-	s.note("[%s#%03d] running %s/%s", s.t.ID, c.idx, c.w.Name, rc.Tech)
-	res, err := RunSupervised(c.w, rc)
-	if err == nil {
-		err = checkZeroCommit(res, c.w.Name, rc.Tech)
+	if j := s.journal(); j != nil {
+		if rec, ok := j.lookup(s.t.ID, c.idx, c.w.Name, string(rc.Tech)); ok {
+			c.attempts, c.replayed = rec.Attempts, true
+			if rec.Result != nil {
+				c.res, c.ok = *rec.Result, true
+			} else {
+				c.err = errors.New(rec.Err)
+			}
+			s.note("[%s#%03d] replaying %s/%s from journal", s.t.ID, c.idx, c.w.Name, rc.Tech)
+			return
+		}
 	}
-	if err != nil {
-		c.err = err
+	maxRetries := s.opt.MaxRetries
+	if s.opt.campaign() {
+		// A shared injector's PRNG position depends on every preceding
+		// run, so a retry would shift the fault sequence of every later
+		// cell; campaign scope keeps the legacy one-shot semantics.
+		maxRetries = 0
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		arc := rc
+		if s.shared == nil && s.opt.Faults.Enabled() {
+			arc.Faults = s.opt.Faults.ForCellAttempt(c.w.Name, string(arc.Tech), c.idx, attempt)
+		}
+		c.attempts = attempt + 1
+		if attempt == 0 {
+			s.note("[%s#%03d] running %s/%s", s.t.ID, c.idx, c.w.Name, arc.Tech)
+		} else {
+			s.note("[%s#%03d] retrying %s/%s (attempt %d of %d): %v",
+				s.t.ID, c.idx, c.w.Name, arc.Tech, attempt+1, maxRetries+1, lastErr)
+		}
+		res, err := s.runCell(c, arc)
+		if err == nil {
+			err = checkZeroCommit(res, c.w.Name, arc.Tech)
+		}
+		if err == nil {
+			c.res, c.ok, lastErr = res, true, nil
+			break
+		}
+		lastErr = err
+		var re *RunError
+		transient := errors.As(err, &re) && re.Transient()
+		if !transient || attempt >= maxRetries || s.opt.softCtx().Err() != nil {
+			break
+		}
+		if err := sleepBackoff(s.opt.softCtx(), retryBackoff(s.opt.RetryBackoff, attempt+1)); err != nil {
+			break // cancelled while backing off: keep the attempt's error
+		}
+	}
+	if lastErr != nil && errors.Is(lastErr, ErrCancelled) {
+		// Hard-cancelled mid-run: the cell didn't fail, the campaign
+		// stopped. Count it as cancelled rather than polluting the error
+		// summary (and never journal it — on resume it simply runs).
+		c.cancelled = true
 		return
 	}
-	c.res, c.ok = res, true
+	c.err = lastErr
+	if j := s.journal(); j != nil {
+		rec := Record{Exp: s.t.ID, Index: c.idx, Workload: c.w.Name,
+			Tech: string(rc.Tech), Attempts: c.attempts}
+		if c.ok {
+			r := c.res
+			rec.Result = &r
+		} else {
+			rec.Err = c.err.Error()
+		}
+		if err := j.record(rec); err != nil {
+			s.note("[%s#%03d] %v (campaign continues unjournaled)", s.t.ID, c.idx, err)
+		}
+	}
+}
+
+// runCell executes one attempt of a cell under the campaign's abort
+// context and the per-cell wall-clock deadline.
+func (s *sweep) runCell(c *sweepCell, rc RunConfig) (Result, error) {
+	ctx := s.opt.abortCtx()
+	if s.opt.CellTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.opt.CellTimeout)
+		defer cancel()
+	}
+	return s.runFn(ctx, c.w, rc)
 }
 
 // note emits one progress line, serializing concurrent workers onto the
@@ -267,6 +391,11 @@ func (s *sweep) note(format string, args ...any) {
 // returned is the first failing name in that order regardless of
 // completion order.
 func (o *Options) buildAll(names []string) ([]*workloads.Workload, error) {
+	if o.softCtx().Err() != nil {
+		// A cancelled campaign should not start synthesizing multi-second
+		// graph workloads for an experiment none of whose cells will run.
+		return nil, ErrCancelled
+	}
 	ws := make([]*workloads.Workload, len(names))
 	errs := make([]error, len(names))
 	p := o.parallel()

@@ -8,6 +8,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"runtime/debug"
 
@@ -112,10 +113,22 @@ func (e *RunError) Unwrap() error { return e.Err }
 // or cycle-limit abort is wrapped the same way. On success it is exactly
 // Run.
 func RunSupervised(w *workloads.Workload, rc RunConfig) (Result, error) {
+	return RunSupervisedContext(context.Background(), w, rc)
+}
+
+// RunSupervisedContext is RunSupervised under a context: the cycle loop
+// additionally consults ctx every ctxCheckCycles cycles, aborting with
+// ErrCellTimeout (the context's deadline expired — how Options.CellTimeout
+// is enforced) or ErrCancelled (the context was cancelled — a campaign
+// hard-stop), each wrapped in a run-phase *RunError with the machine
+// snapshot. A context that can never be cancelled costs the hot loop
+// nothing.
+func RunSupervisedContext(ctx context.Context, w *workloads.Workload, rc RunConfig) (Result, error) {
 	in, err := newInstance(w, rc)
 	if err != nil {
 		return Result{}, &RunError{Workload: w.Name, Tech: rc.Tech, Phase: "setup", Err: err}
 	}
+	in.ctx = ctx
 	return supervised(in)
 }
 

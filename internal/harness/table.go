@@ -20,11 +20,17 @@ type Table struct {
 	// snapshot). Rendered as a trailing summary; a non-empty list makes
 	// vrbench exit non-zero after printing everything.
 	Errors []string `json:",omitempty"`
+	// Cancelled counts cells the campaign was interrupted out of running
+	// (including cells skipped because a dependency was cancelled). A
+	// nonzero count renders a trailing CANCELLED summary and makes
+	// vrbench exit with the interrupt status.
+	Cancelled int `json:",omitempty"`
 
-	// mu guards Rows and Errors so tables tolerate concurrent appends.
-	// The sweep engine nevertheless assembles rows and errors serially in
-	// declaration order after all cells complete — ordering, not just
-	// atomicity, is what keeps parallel output byte-identical.
+	// mu guards Rows, Notes, Errors and Cancelled so tables tolerate
+	// concurrent appends. The sweep engine nevertheless assembles rows,
+	// notes and errors serially in declaration order after all cells
+	// complete — ordering, not just atomicity, is what keeps parallel
+	// output byte-identical.
 	mu sync.Mutex
 }
 
@@ -40,6 +46,22 @@ func (t *Table) AddError(err error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.Errors = append(t.Errors, err.Error())
+}
+
+// AddNote appends one note line (drivers also append to Notes directly
+// when single-threaded; this is the mutex-guarded path).
+func (t *Table) AddNote(note string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.Notes = append(t.Notes, note)
+}
+
+// markCancelled records how many cells the campaign was interrupted out
+// of running.
+func (t *Table) markCancelled(n int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.Cancelled += n
 }
 
 // String renders the table as aligned text.
@@ -60,6 +82,9 @@ func (t *Table) String() string {
 		for _, e := range t.Errors {
 			fmt.Fprintf(&sb, "  ! %s\n", e)
 		}
+	}
+	if t.Cancelled > 0 {
+		fmt.Fprintf(&sb, "CANCELLED: %d cells not run (campaign interrupted); partial results above — resume with -checkpoint PATH -resume\n", t.Cancelled)
 	}
 	return sb.String()
 }

@@ -3,6 +3,7 @@ package mem
 import (
 	"fmt"
 	"hash/fnv"
+	"math"
 	"math/rand"
 )
 
@@ -62,7 +63,9 @@ func (c FaultConfig) Validate() error {
 		{"DropPrefetchProb", c.DropPrefetchProb},
 		{"MSHRStarveProb", c.MSHRStarveProb},
 	} {
-		if p.v < 0 || p.v > 1 {
+		// NaN fails both comparisons below, so reject it explicitly: a
+		// NaN probability is never a usable configuration.
+		if math.IsNaN(p.v) || p.v < 0 || p.v > 1 {
 			return fmt.Errorf("%w: fault %s %v outside [0,1]", ErrBadConfig, p.name, p.v)
 		}
 	}
@@ -84,8 +87,23 @@ func (c FaultConfig) Validate() error {
 // faults (PanicAfter, HangAfter) count per cell under this scoping; share
 // one injector across runs instead to keep campaign-global counts.
 func (c FaultConfig) ForCell(workload, tech string, index int) FaultConfig {
+	return c.ForCellAttempt(workload, tech, index, 0)
+}
+
+// ForCellAttempt is ForCell extended with a retry attempt number: attempt
+// 0 derives exactly ForCell's seed (so campaigns without retries are
+// bit-identical to those computed before attempts existed), and every
+// retry mixes the attempt into the hash, giving a re-run cell a fresh —
+// but still fully deterministic — fault sequence. A probabilistic fault
+// that sank attempt 0 therefore has an independent chance on attempt 1,
+// while count-based faults (PanicAfter, HangAfter) still fire regardless
+// of seed.
+func (c FaultConfig) ForCellAttempt(workload, tech string, index, attempt int) FaultConfig {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%d|%s|%s|%d", c.Seed, workload, tech, index)
+	if attempt > 0 {
+		fmt.Fprintf(h, "|attempt|%d", attempt)
+	}
 	c.Seed = int64(splitmix64(h.Sum64()))
 	return c
 }

@@ -1,0 +1,58 @@
+package mem
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseFaultSpec builds a fault-injection configuration from the
+// comma-separated k=v spec the vrbench -faults flag accepts, e.g.
+// "spike=0.01,spikecycles=2000,panic=50000", seeding it with seed. The
+// returned config is validated: a nil error implies cfg.Validate() == nil,
+// so callers can hand it straight to NewFaultInjector.
+func ParseFaultSpec(spec string, seed int64) (FaultConfig, error) {
+	fc := FaultConfig{Seed: seed}
+	for _, kv := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return fc, fmt.Errorf("bad entry %q (want key=value)", kv)
+		}
+		switch k {
+		case "spike", "drop", "starve":
+			p, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return fc, fmt.Errorf("%s: %v", k, err)
+			}
+			switch k {
+			case "spike":
+				fc.LatencySpikeProb = p
+			case "drop":
+				fc.DropPrefetchProb = p
+			case "starve":
+				fc.MSHRStarveProb = p
+			}
+		case "spikecycles", "starvecycles", "panic", "hang":
+			n, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				return fc, fmt.Errorf("%s: %v", k, err)
+			}
+			switch k {
+			case "spikecycles":
+				fc.LatencySpikeCycles = n
+			case "starvecycles":
+				fc.MSHRStarveCycles = n
+			case "panic":
+				fc.PanicAfter = n
+			case "hang":
+				fc.HangAfter = n
+			}
+		default:
+			return fc, fmt.Errorf("unknown key %q", k)
+		}
+	}
+	if err := fc.Validate(); err != nil {
+		return fc, err
+	}
+	return fc, nil
+}
