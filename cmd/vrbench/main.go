@@ -103,6 +103,7 @@ func run() int {
 		backoff    = flag.Duration("retrybackoff", 0, "base delay before a retry, doubling per attempt (deterministic, no jitter)")
 		checkpoint = flag.String("checkpoint", "", "write-ahead journal path: append every completed cell for -resume")
 		resume     = flag.Bool("resume", false, "replay completed cells from the -checkpoint journal instead of re-simulating")
+		check      = flag.Bool("check", false, "validate every run against the cosimulation oracle and runtime invariant checker; divergences fail their cell permanently")
 	)
 	flag.Parse()
 
@@ -134,6 +135,7 @@ func run() int {
 		CellTimeout:    *cellTO,
 		MaxRetries:     *retries,
 		RetryBackoff:   *backoff,
+		Check:          *check,
 	}
 	if *wl != "" {
 		opt.Workloads = strings.Split(*wl, ",")

@@ -56,6 +56,10 @@ func NewPRE(cfg PREConfig) *PRE { return &PRE{cfg: cfg} }
 // HoldCommit implements cpu.Engine: PRE never delays the pipeline.
 func (p *PRE) HoldCommit() bool { return false }
 
+// Holding is the side-effect-free commit-hold predicate the runtime
+// invariant checker queries; PRE never holds commit.
+func (p *PRE) Holding() bool { return false }
+
 // Active reports whether a runahead interval is in progress.
 func (p *PRE) Active() bool { return p.active }
 

@@ -69,12 +69,17 @@ func (p *ClassicRA) Active() bool { return p.active }
 
 // HoldCommit implements cpu.Engine: the post-interval pipeline flush.
 func (p *ClassicRA) HoldCommit() bool {
-	hold := !p.active && p.holdUntil > 0
+	hold := p.Holding()
 	if hold {
 		p.Stats.FlushCycles++
 	}
 	return hold
 }
+
+// Holding reports the flush commit hold without the stats side effect
+// HoldCommit carries — the side-effect-free predicate the runtime
+// invariant checker queries at every retirement.
+func (p *ClassicRA) Holding() bool { return !p.active && p.holdUntil > 0 }
 
 // Tick implements cpu.Engine.
 func (p *ClassicRA) Tick(c *cpu.Core) {

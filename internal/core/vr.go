@@ -152,11 +152,19 @@ func (v *VR) Active() bool { return v.active }
 
 // HoldCommit implements cpu.Engine: delayed termination.
 func (v *VR) HoldCommit() bool {
-	hold := v.cfg.DelayedTermination && v.active && v.vec && v.now >= v.blDone
+	hold := v.Holding()
 	if hold {
 		v.Stats.DelayedCycles++
 	}
 	return hold
+}
+
+// Holding reports the delayed-termination commit hold without the stats
+// side effect HoldCommit carries — the side-effect-free predicate the
+// runtime invariant checker queries at every retirement to assert that no
+// instruction commits architecturally while the engine demands a hold.
+func (v *VR) Holding() bool {
+	return v.cfg.DelayedTermination && v.active && v.vec && v.now >= v.blDone
 }
 
 // Tick implements cpu.Engine.

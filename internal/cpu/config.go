@@ -58,6 +58,19 @@ type Config struct {
 	// — long before the cycle budget drains, and carries a typed error
 	// the supervision layer turns into a machine-state snapshot.
 	WatchdogCycles uint64
+
+	// CheckInterval is the RunChecked hook cadence in cycles: how often
+	// the periodic interrupt check (deadlines, cancellation, the runtime
+	// invariant checker) is consulted. Frequent enough that deadlines
+	// land within milliseconds of wall clock and invariant violations
+	// surface near their cause, rare enough that the cycle loop's cost
+	// stays one counter and one predictable branch. Must be >= 1.
+	CheckInterval uint64
+
+	// Faults configures deterministic core-level fault injection in the
+	// commit stage (the checker self-test seam). The zero value disables
+	// it and costs the retire path one predictable branch.
+	Faults FaultConfig
 }
 
 // DefaultConfig returns the Table 1 baseline: 4 GHz 5-wide out-of-order,
@@ -96,8 +109,13 @@ func DefaultConfig() Config {
 	cfg.NewPredictor = func() branch.Predictor { return branch.NewTAGE(10) }
 	cfg.MaxCycles = 2_000_000_000
 	cfg.WatchdogCycles = 1_000_000
+	cfg.CheckInterval = DefaultCheckInterval
 	return cfg
 }
+
+// DefaultCheckInterval is the default RunChecked hook cadence: the value
+// the harness historically hard-coded for its deadline/cancellation check.
+const DefaultCheckInterval = 4096
 
 // ErrBadConfig is wrapped by every core-configuration validation failure.
 var ErrBadConfig = errors.New("cpu: invalid configuration")
@@ -106,11 +124,12 @@ var ErrBadConfig = errors.New("cpu: invalid configuration")
 // these bounds construction can never exhaust memory or deadlock the
 // issue stage.
 const (
-	maxWidth      = 64
-	maxROBSize    = 1 << 20
-	maxQueueSize  = 1 << 20
-	maxFrontDepth = 1 << 10
-	maxFUCount    = 1 << 10
+	maxWidth         = 64
+	maxROBSize       = 1 << 20
+	maxQueueSize     = 1 << 20
+	maxFrontDepth    = 1 << 10
+	maxFUCount       = 1 << 10
+	maxCheckInterval = 1 << 30
 )
 
 // Validate checks the core configuration, returning an error wrapping
@@ -154,6 +173,12 @@ func (c Config) Validate() error {
 	}
 	if c.NewPredictor == nil {
 		return fmt.Errorf("%w: NewPredictor is nil", ErrBadConfig)
+	}
+	// A zero interval would silently disable every periodic check —
+	// deadlines, cancellation, the invariant checker — so reject it.
+	if c.CheckInterval < 1 || c.CheckInterval > maxCheckInterval {
+		return fmt.Errorf("%w: CheckInterval %d out of range [%d,%d]",
+			ErrBadConfig, c.CheckInterval, 1, maxCheckInterval)
 	}
 	return nil
 }

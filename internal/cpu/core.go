@@ -57,6 +57,33 @@ func (s StallCause) String() string {
 	return "?"
 }
 
+// CommitEvent describes one architectural retirement, delivered to
+// Core.CommitObserver after the instruction's effects were applied. It is
+// the unit of comparison for the cosimulation oracle: an in-order
+// reference model consuming these events in sequence must agree on every
+// field, or the timing core has silently computed the wrong program.
+type CommitEvent struct {
+	// Seq is the instruction's dispatch sequence number. Committed
+	// sequence numbers are strictly increasing but not contiguous
+	// (squashed instructions consume numbers without retiring).
+	Seq uint64
+	// Cycle is the commit cycle.
+	Cycle uint64
+	// PC is the instruction's program counter.
+	PC int
+	// In is the retired instruction.
+	In isa.Instr
+	// WroteReg reports a register writeback; Dst and Val carry the
+	// destination and the register file's value after the write.
+	WroteReg bool
+	Dst      isa.Reg
+	// Val is the destination value for register writers, or the stored
+	// value for stores.
+	Val uint64
+	// Addr is the effective address for loads and stores.
+	Addr uint64
+}
+
 // Stats aggregates a run's performance counters.
 type Stats struct {
 	Cycles    uint64
@@ -164,6 +191,13 @@ type Core struct {
 	// Runahead trains its striding-load detector through it.
 	LoadObserver func(pc int, addr uint64)
 
+	// CommitObserver, when set, is invoked for every architectural
+	// retirement, after its effects (register writeback, memory update)
+	// have been applied. The cosimulation oracle validates the commit
+	// stream through it; golden-trace capture records through it. When
+	// nil the retire path pays one predictable branch and nothing else.
+	CommitObserver func(ev CommitEvent)
+
 	cycle     uint64
 	statsBase uint64 // cycle at the last ResetStats (ROI support)
 	nextSeq   uint64
@@ -202,6 +236,11 @@ type Core struct {
 	issuedThisCycle int
 	squashEpoch     uint64 // bumped by every squash; detects mid-issue flushes
 	dispatchBlocked bool   // a back-end resource rejected dispatch this cycle
+
+	// Core-level fault injection state (see FaultConfig): a commit
+	// counter that never resets, and a fired latch per fault kind.
+	faultCommits uint64
+	faultFired   [3]bool
 
 	Stats Stats
 }
@@ -488,6 +527,10 @@ func (c *Core) stallCause() StallCause {
 
 func (c *Core) retire(e *robEntry) {
 	c.Stats.Committed++
+	var corrupt, drop, phantom bool
+	if c.cfg.Faults.Enabled() {
+		corrupt, drop, phantom = c.faultPlan(e)
+	}
 	slot := c.head
 	switch {
 	case e.in.IsHalt():
@@ -506,11 +549,38 @@ func (c *Core) retire(e *robEntry) {
 		c.Stats.CommittedBranches++
 	}
 	if e.in.WritesDst() {
-		c.archRegs[e.in.Dst] = e.val
-		c.commitSeq[slot] = e.seq
-		c.commitV[slot] = e.val
+		if corrupt {
+			e.val ^= corruptMask
+		}
+		if !drop {
+			c.archRegs[e.in.Dst] = e.val
+			c.commitSeq[slot] = e.seq
+			c.commitV[slot] = e.val
+		}
 		if c.renameRob[e.in.Dst] == slot && c.renameSeq[e.in.Dst] == e.seq {
 			c.renameRob[e.in.Dst] = noProducer
+		}
+	}
+	if phantom {
+		c.Stats.Committed++
+	}
+	if c.CommitObserver != nil {
+		ev := CommitEvent{Seq: e.seq, Cycle: c.cycle, PC: e.pc, In: e.in}
+		if e.in.WritesDst() {
+			// Report the register file's value after writeback, not the
+			// ROB entry's: a dropped or corrupted writeback must surface
+			// as the state the rest of the program will actually read.
+			ev.WroteReg, ev.Dst, ev.Val = true, e.in.Dst, c.archRegs[e.in.Dst]
+		}
+		if e.in.IsMem() {
+			ev.Addr = e.addr
+		}
+		if e.in.IsStore() {
+			ev.Val = e.val
+		}
+		c.CommitObserver(ev)
+		if phantom {
+			c.CommitObserver(ev)
 		}
 	}
 }

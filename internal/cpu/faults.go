@@ -1,0 +1,64 @@
+package cpu
+
+// Core-level fault injection: deterministic, count-based corruptions of
+// the commit stage, in the spirit of the memory system's mem.FaultConfig.
+// Where the memory faults perturb *timing* (latency spikes, starvation,
+// hangs) and so are caught by the watchdog and deadline machinery, these
+// faults perturb *architectural state* — exactly the class of failure only
+// the cosimulation oracle can see. They exist to prove the checker fires:
+// the oracle self-test injects each kind and asserts detection.
+//
+// Counts are commit ordinals over the whole run (they do not reset at the
+// region-of-interest boundary), so a fault lands at the same dynamic
+// instruction on every run of the same configuration.
+
+// corruptMask is XORed into a destination value by the corrupt-value
+// fault: a multi-bit flip that cannot alias a plausible off-by-one.
+const corruptMask = 0xdead_beef_0bad_f00d
+
+// FaultConfig parameterizes core-level fault injection. The zero value
+// disables it. Each fault fires once, at the first eligible retirement at
+// or after its ordinal (the Nth committed instruction, 1-based); value
+// faults wait for the next result-producing instruction.
+type FaultConfig struct {
+	// CorruptValueAt XORs corruptMask into the destination value of the
+	// Nth committed instruction before architectural writeback — a silent
+	// datapath corruption.
+	CorruptValueAt uint64
+	// DropWritebackAt discards the destination value of the Nth committed
+	// instruction: the architectural register file keeps its stale value
+	// — a lost writeback.
+	DropWritebackAt uint64
+	// PhantomCommitAt reports the Nth committed instruction twice — an
+	// extra retirement that never corresponded to program order — to the
+	// commit observer and the Committed counter.
+	PhantomCommitAt uint64
+}
+
+// Enabled reports whether any core fault is configured.
+func (f FaultConfig) Enabled() bool {
+	return f.CorruptValueAt != 0 || f.DropWritebackAt != 0 || f.PhantomCommitAt != 0
+}
+
+// faultPlan advances the fault-injection commit counter for one
+// retirement and reports which injected faults apply to it. Each fault
+// kind fires at most once per run.
+func (c *Core) faultPlan(e *robEntry) (corrupt, drop, phantom bool) {
+	f := &c.cfg.Faults
+	c.faultCommits++
+	if f.CorruptValueAt != 0 && !c.faultFired[0] &&
+		c.faultCommits >= f.CorruptValueAt && e.in.WritesDst() {
+		c.faultFired[0] = true
+		corrupt = true
+	}
+	if f.DropWritebackAt != 0 && !c.faultFired[1] &&
+		c.faultCommits >= f.DropWritebackAt && e.in.WritesDst() {
+		c.faultFired[1] = true
+		drop = true
+	}
+	if f.PhantomCommitAt != 0 && !c.faultFired[2] && c.faultCommits >= f.PhantomCommitAt {
+		c.faultFired[2] = true
+		phantom = true
+	}
+	return corrupt, drop, phantom
+}

@@ -1,0 +1,85 @@
+package cpu
+
+import "fmt"
+
+// CheckInvariants validates the core's structural invariants: reorder
+// buffer geometry, scheduler-list liveness, load/store queue accounting
+// and program-order sequencing. It is the white-box half of the runtime
+// invariant checker (internal/oracle wraps it with memory-system and
+// monotonicity checks) and is intended to run at the RunChecked cadence —
+// it scans every in-flight instruction, so it is far too expensive for
+// every cycle but negligible every few thousand.
+//
+// The checks are written against state as it stands *between* cycles
+// (where RunChecked's hook fires); mid-cycle transients — e.g. issued
+// entries lingering in the issue queue after a mid-issue squash — are
+// legal there and deliberately not flagged.
+func (c *Core) CheckInvariants() error {
+	cfg := &c.cfg
+	if c.head < 0 || c.head >= cfg.ROBSize {
+		return fmt.Errorf("ROB head %d outside ring [0,%d)", c.head, cfg.ROBSize)
+	}
+	if c.count < 0 || c.count > cfg.ROBSize {
+		return fmt.Errorf("ROB occupancy %d outside [0,%d]", c.count, cfg.ROBSize)
+	}
+	if n := len(c.iq); n > cfg.IQSize {
+		return fmt.Errorf("issue queue holds %d entries, capacity %d", n, cfg.IQSize)
+	}
+	if c.lqCount < 0 || c.lqCount > cfg.LQSize {
+		return fmt.Errorf("load queue count %d outside [0,%d]", c.lqCount, cfg.LQSize)
+	}
+	if c.sqCount < 0 || c.sqCount > cfg.SQSize {
+		return fmt.Errorf("store queue count %d outside [0,%d]", c.sqCount, cfg.SQSize)
+	}
+
+	// Recount the window: the LQ/SQ counters must agree with the live ROB
+	// contents, and sequence numbers must be strictly increasing in
+	// program order.
+	loads, stores := 0, 0
+	var prevSeq uint64
+	for i := 0; i < c.count; i++ {
+		e := &c.rob[c.slot(i)]
+		if i > 0 && e.seq <= prevSeq {
+			return fmt.Errorf("ROB order broken: entry %d seq %d follows seq %d", i, e.seq, prevSeq)
+		}
+		prevSeq = e.seq
+		if e.in.IsLoad() {
+			loads++
+		}
+		if e.in.IsStore() {
+			stores++
+		}
+	}
+	if loads != c.lqCount {
+		return fmt.Errorf("load queue count %d, but ROB holds %d loads", c.lqCount, loads)
+	}
+	if stores != c.sqCount {
+		return fmt.Errorf("store queue count %d, but ROB holds %d stores", c.sqCount, stores)
+	}
+
+	// Scheduler lists may only reference live window slots, and the typed
+	// lists must reference instructions of their type.
+	for _, s := range c.iq {
+		if c.ordinal(s) >= c.count {
+			return fmt.Errorf("issue queue references dead ROB slot %d", s)
+		}
+	}
+	for _, s := range c.stores {
+		if c.ordinal(s) >= c.count {
+			return fmt.Errorf("store list references dead ROB slot %d", s)
+		}
+		if !c.rob[s].in.IsStore() {
+			return fmt.Errorf("store list slot %d holds a non-store (%s)", s, c.rob[s].in.Op)
+		}
+	}
+	for _, s := range c.ldIssued {
+		if c.ordinal(s) >= c.count {
+			return fmt.Errorf("issued-load list references dead ROB slot %d", s)
+		}
+		e := &c.rob[s]
+		if !e.in.IsLoad() || !e.issued {
+			return fmt.Errorf("issued-load list slot %d holds op=%s issued=%v", s, e.in.Op, e.issued)
+		}
+	}
+	return nil
+}

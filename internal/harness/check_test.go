@@ -1,0 +1,215 @@
+// Tests for RunConfig.Check: the cosimulation oracle and runtime
+// invariant checker across the full workload × technique matrix, the
+// zero-cost-when-disabled guarantee, the core-fault self-test proving the
+// checker fires, and the permanence of divergence failures in the retry
+// machinery.
+
+package harness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"vrsim/internal/cpu"
+	"vrsim/internal/oracle"
+	"vrsim/internal/workloads"
+)
+
+// checkedTechniques is the full evaluated set plus the classic-runahead
+// lineage baseline — every engine wiring the harness can build.
+func checkedTechniques() []Technique {
+	return append(AllTechniques(), TechRA)
+}
+
+// TestCheckedRunsCleanEverywhere runs every benchmark under every
+// technique with the oracle and invariant checker enabled: a healthy
+// simulator must survive full cross-validation with zero divergences.
+func TestCheckedRunsCleanEverywhere(t *testing.T) {
+	for _, w := range smallWorkloads() {
+		for _, tech := range checkedTechniques() {
+			w, tech := w, tech
+			t.Run(w.Name+"/"+string(tech), func(t *testing.T) {
+				t.Parallel()
+				rc := DefaultRunConfig(tech)
+				rc.Check = true
+				rc.MaxBudget = 150_000
+				if _, err := Run(w, rc); err != nil {
+					t.Fatalf("checked run failed: %v", err)
+				}
+			})
+		}
+	}
+}
+
+// TestCheckedRunToHalt drives one workload all the way to its Halt under
+// checking, exercising the oracle's end-of-run halt agreement and the
+// full-register final comparison.
+func TestCheckedRunToHalt(t *testing.T) {
+	for _, tech := range checkedTechniques() {
+		rc := DefaultRunConfig(tech)
+		rc.Check = true
+		rc.MaxBudget = 0 // unlimited: run to Halt
+		if _, err := Run(workloads.Camel(12, 1500), rc); err != nil {
+			t.Fatalf("%s: checked run to halt failed: %v", tech, err)
+		}
+	}
+}
+
+// TestCheckObservational proves checking cannot perturb the simulation:
+// every metric of a checked run is identical to the unchecked run's.
+func TestCheckObservational(t *testing.T) {
+	for _, tech := range checkedTechniques() {
+		rc := DefaultRunConfig(tech)
+		rc.MaxBudget = 100_000
+		w := workloads.Kangaroo(12, 1500)
+		base, err := Run(w, rc)
+		if err != nil {
+			t.Fatalf("%s: unchecked run failed: %v", tech, err)
+		}
+		rc.Check = true
+		checked, err := Run(w, rc)
+		if err != nil {
+			t.Fatalf("%s: checked run failed: %v", tech, err)
+		}
+		if !reflect.DeepEqual(base, checked) {
+			t.Errorf("%s: checking changed the result:\nunchecked: %+v\nchecked:   %+v", tech, base, checked)
+		}
+	}
+}
+
+// TestCoreFaultSelfTest injects each core-level fault kind and asserts
+// the oracle detects it: the checker's own end-to-end test. Each kind
+// must surface as ErrOracleDivergence with the expected divergence field,
+// classify as permanent, and carry a machine snapshot.
+func TestCoreFaultSelfTest(t *testing.T) {
+	cases := []struct {
+		name      string
+		faults    cpu.FaultConfig
+		wantField string
+	}{
+		{"corrupt-value", cpu.FaultConfig{CorruptValueAt: 500}, "dstval"},
+		{"drop-writeback", cpu.FaultConfig{DropWritebackAt: 500}, "dstval"},
+		{"phantom-commit", cpu.FaultConfig{PhantomCommitAt: 500}, "seq"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			rc := DefaultRunConfig(TechOoO)
+			rc.Check = true
+			rc.MaxBudget = 100_000
+			rc.CPU.Faults = tc.faults
+			_, err := RunSupervised(workloads.Camel(12, 1500), rc)
+			if err == nil {
+				t.Fatal("injected core fault went undetected")
+			}
+			if !errors.Is(err, ErrOracleDivergence) {
+				t.Fatalf("error does not classify as ErrOracleDivergence: %v", err)
+			}
+			var re *RunError
+			if !errors.As(err, &re) {
+				t.Fatalf("supervised failure is not a *RunError: %v", err)
+			}
+			if re.Transient() {
+				t.Error("oracle divergence classified as transient; it must never be retried")
+			}
+			if re.Snapshot == nil {
+				t.Error("divergence RunError carries no machine snapshot")
+			}
+			var div *oracle.Divergence
+			if !errors.As(err, &div) {
+				t.Fatalf("error does not carry a *oracle.Divergence: %v", err)
+			}
+			if div.Field != tc.wantField {
+				t.Errorf("divergence field = %q, want %q (%v)", div.Field, tc.wantField, div)
+			}
+		})
+	}
+}
+
+// TestCoreFaultsDetectedUnderEngines repeats the corrupt-value self-test
+// with each runahead engine attached: speculative pre-execution must not
+// mask an architectural corruption.
+func TestCoreFaultsDetectedUnderEngines(t *testing.T) {
+	for _, tech := range []Technique{TechVR, TechPRE, TechRA} {
+		tech := tech
+		t.Run(string(tech), func(t *testing.T) {
+			t.Parallel()
+			rc := DefaultRunConfig(tech)
+			rc.Check = true
+			rc.MaxBudget = 100_000
+			rc.CPU.Faults = cpu.FaultConfig{CorruptValueAt: 2000}
+			_, err := RunSupervised(workloads.Kangaroo(12, 1500), rc)
+			if !errors.Is(err, ErrOracleDivergence) {
+				t.Fatalf("corruption under %s not caught as divergence: %v", tech, err)
+			}
+		})
+	}
+}
+
+// TestDivergenceNeverRetried drives the sweep engine with a scripted cell
+// that fails with an oracle divergence: despite a generous retry budget
+// the cell must run exactly once and render as an error entry carrying
+// the snapshot note.
+func TestDivergenceNeverRetried(t *testing.T) {
+	for _, sentinel := range []error{ErrOracleDivergence, ErrInvariantViolation} {
+		opt := &Options{MaxRetries: 5}
+		tab := &Table{ID: "CK"}
+		calls := 0
+		s := opt.newSweep(tab)
+		s.runFn = func(_ context.Context, w *workloads.Workload, rc RunConfig) (Result, error) {
+			calls++
+			return Result{}, &RunError{
+				Workload: w.Name, Tech: rc.Tech, Phase: "run",
+				Err:      fmt.Errorf("checker: %w", sentinel),
+				Snapshot: &Snapshot{Cycle: 123, HeadPC: 7},
+			}
+		}
+		c := s.cell(workloads.MicroStream(64), RunConfig{Tech: TechOoO})
+		s.run()
+		if calls != 1 || c.attempts != 1 {
+			t.Errorf("%v: calls=%d attempts=%d, want 1/1 (divergences are permanent)", sentinel, calls, c.attempts)
+		}
+		if _, ok := c.result(); ok {
+			t.Errorf("%v: diverged cell reported ok", sentinel)
+		}
+		if len(tab.Errors) != 1 {
+			t.Fatalf("%v: table errors = %v, want exactly the divergence", sentinel, tab.Errors)
+		}
+		if msg := tab.Errors[0]; !strings.Contains(msg, "cycle=123") {
+			t.Errorf("%v: rendered error %q does not carry the snapshot", sentinel, msg)
+		}
+	}
+}
+
+// TestOptionsCheckReachesCells: the campaign-level Options.Check switch
+// must enable checking on every scheduled cell.
+func TestOptionsCheckReachesCells(t *testing.T) {
+	opt := &Options{Check: true}
+	tab := &Table{ID: "CK"}
+	s := opt.newSweep(tab)
+	var saw bool
+	s.runFn = func(_ context.Context, w *workloads.Workload, rc RunConfig) (Result, error) {
+		saw = rc.Check
+		return okResult(w.Name, rc.Tech), nil
+	}
+	s.cell(workloads.MicroStream(64), RunConfig{Tech: TechOoO})
+	s.run()
+	if !saw {
+		t.Error("Options.Check did not propagate to the cell's RunConfig")
+	}
+}
+
+// TestCheckInFingerprint: checked and unchecked campaigns must not share
+// a resume journal.
+func TestCheckInFingerprint(t *testing.T) {
+	a := (&Options{}).Fingerprint([]string{"f7"})
+	b := (&Options{Check: true}).Fingerprint([]string{"f7"})
+	if reflect.DeepEqual(a, b) {
+		t.Error("fingerprint ignores Check; checked and unchecked journals would mix")
+	}
+}

@@ -31,6 +31,11 @@ type Options struct {
 	// WatchdogCycles overrides the forward-progress watchdog span
 	// (0 = the cpu package default).
 	WatchdogCycles uint64
+	// Check enables the cosimulation oracle and runtime invariant checker
+	// on every cell (see RunConfig.Check). A divergence fails its cell
+	// permanently (never retried) and renders as an ERR entry carrying
+	// both machine snapshots.
+	Check bool
 	// Parallel bounds how many simulation cells run concurrently
 	// (0 = GOMAXPROCS). Scheduling never changes results: rendered tables
 	// are byte-identical at every setting.

@@ -14,6 +14,7 @@ import (
 	"vrsim/internal/core"
 	"vrsim/internal/cpu"
 	"vrsim/internal/mem"
+	"vrsim/internal/oracle"
 	"vrsim/internal/prefetch"
 	"vrsim/internal/workloads"
 )
@@ -70,6 +71,14 @@ type RunConfig struct {
 	// injector from Faults. Sharing one injector across a campaign's runs
 	// lets its Nth-access faults land in whichever cell reaches them.
 	FaultInjector *mem.FaultInjector
+	// Check enables the cosimulation oracle and the runtime invariant
+	// checker: every architectural commit is validated against an in-order
+	// reference model over a shadow memory, and microarchitectural
+	// invariants are verified at the CheckInterval cadence. Checking is
+	// strictly observational — a run with Check off is byte-identical to
+	// one that has never heard of it — and a detected divergence aborts
+	// the run with ErrOracleDivergence or ErrInvariantViolation.
+	Check bool
 }
 
 // Validate checks every sub-configuration of the run, returning the first
@@ -198,6 +207,11 @@ type instance struct {
 	pre  *core.PRE
 	ra   *core.ClassicRA
 
+	// oracle and inv are the cosimulation oracle and the invariant
+	// checker; both nil unless RunConfig.Check is set.
+	oracle *oracle.Checker
+	inv    *oracle.InvariantChecker
+
 	// ctx, when cancellable, is consulted every ctxCheckCycles cycles of
 	// execution; see RunSupervisedContext. nil means context.Background().
 	ctx context.Context
@@ -261,6 +275,25 @@ func newInstance(w *workloads.Workload, rc RunConfig) (*instance, error) {
 		// baseline has no engine, oracle is modeled as a perfect L1, and
 		// IMP is a hardware prefetcher attached to the hierarchy above.
 	}
+	if rc.Check {
+		// The oracle gets its own freshly initialized shadow memory (the
+		// reference applies its own stores, so a timing-core store bug
+		// cannot contaminate it) and the engine's side-effect-free
+		// commit-hold predicate, to flag any retirement that slips through
+		// a demanded hold.
+		var holding func() bool
+		switch {
+		case in.vr != nil:
+			holding = in.vr.Holding
+		case in.pre != nil:
+			holding = in.pre.Holding
+		case in.ra != nil:
+			holding = in.ra.Holding
+		}
+		in.oracle = oracle.NewChecker(w.Prog, w.Fresh(), holding)
+		in.c.CommitObserver = in.oracle.OnCommit
+		in.inv = oracle.NewInvariantChecker(in.c)
+	}
 	return in, nil
 }
 
@@ -278,12 +311,6 @@ func Run(w *workloads.Workload, rc RunConfig) (Result, error) {
 	}
 	return res, nil
 }
-
-// ctxCheckCycles is how many simulated cycles pass between consultations
-// of a cancellable run context: frequent enough that deadlines and
-// cancellation land within milliseconds of wall clock, rare enough that
-// the cycle loop's cost is one counter and one predictable branch.
-const ctxCheckCycles = 4096
 
 // ctxCheck returns the periodic interrupt check for the instance's
 // context, classifying an expired deadline as ErrCellTimeout and a
@@ -307,6 +334,47 @@ func (in *instance) ctxCheck() func() error {
 	}
 }
 
+// runCheck builds the periodic interrupt check RunChecked consults every
+// CheckInterval cycles: context deadline/cancellation first (cheapest,
+// and a timed-out cell should report the timeout even if checking would
+// also have found something), then the latched oracle divergence, then
+// the invariant sweep. nil when nothing can ever fire, so the unchecked
+// default path pays nothing.
+func (in *instance) runCheck() func() error {
+	ctxCheck := in.ctxCheck()
+	if in.oracle == nil && in.inv == nil {
+		return ctxCheck
+	}
+	return func() error {
+		if ctxCheck != nil {
+			if err := ctxCheck(); err != nil {
+				return err
+			}
+		}
+		if err := in.oracle.Err(); err != nil {
+			return err
+		}
+		return in.inv.Check()
+	}
+}
+
+// finalCheck runs the end-of-run validations when checking is enabled: a
+// divergence or violation may have latched after the last periodic check,
+// and the architectural register files must agree (plus, if the program
+// ran to its Halt, the reference model must have halted too).
+func (in *instance) finalCheck() error {
+	if in.oracle == nil {
+		return nil
+	}
+	if err := in.oracle.Err(); err != nil {
+		return err
+	}
+	if err := in.inv.Check(); err != nil {
+		return err
+	}
+	return in.oracle.Final(in.c.ArchRegs(), in.c.Halted())
+}
+
 // execute runs the assembled simulation and collects its metrics.
 func (in *instance) execute() (Result, error) {
 	w, rc, c, hier := in.w, in.rc, in.c, in.hier
@@ -319,25 +387,36 @@ func (in *instance) execute() (Result, error) {
 	if rc.MaxBudget != 0 && budget > rc.MaxBudget {
 		budget = rc.MaxBudget
 	}
-	// Deadline/cancellation plumbing: check once up front (a cell whose
-	// deadline already passed must not run at all), then periodically
-	// inside both cycle loops below.
-	check := in.ctxCheck()
+	// Deadline/cancellation plumbing plus (when enabled) the oracle and
+	// invariant checks: consult once up front (a cell whose deadline
+	// already passed must not run at all), then periodically inside both
+	// cycle loops below at the configured CheckInterval cadence.
+	check := in.runCheck()
 	if check != nil {
 		if err := check(); err != nil {
 			return Result{}, err
 		}
 	}
+	every := rc.CPU.CheckInterval
 	// Region of interest: run the initialization phase, then reset every
 	// statistic (keeping caches, predictors and in-flight state warm).
 	if w.SkipInstrs > 0 {
-		if err := c.RunChecked(w.SkipInstrs, ctxCheckCycles, check); err != nil {
+		if err := c.RunChecked(w.SkipInstrs, every, check); err != nil {
 			return Result{}, fmt.Errorf("init: %w", err)
 		}
 		c.ResetStats()
 		hier.ResetStats()
+		if in.inv != nil {
+			// The reset zeroed Stats.Committed; re-baseline the
+			// monotonicity checks so the ROI boundary does not read as the
+			// commit counter running backwards.
+			in.inv.Rearm()
+		}
 	}
-	if err := c.RunChecked(budget, ctxCheckCycles, check); err != nil {
+	if err := c.RunChecked(budget, every, check); err != nil {
+		return Result{}, err
+	}
+	if err := in.finalCheck(); err != nil {
 		return Result{}, err
 	}
 

@@ -55,6 +55,13 @@ type Fingerprint struct {
 	MaxRetries  int
 	FaultScope  string
 	Faults      mem.FaultConfig
+	// Check records whether the campaign ran with the cosimulation oracle
+	// and invariant checker enabled; checked and unchecked campaigns
+	// produce identical results on a healthy simulator, but a journal
+	// must not silently mix them (a resumed checked campaign would
+	// otherwise replay unchecked outcomes). omitempty keeps old journals
+	// readable: absent means false, matching every pre-Check campaign.
+	Check bool `json:",omitempty"`
 }
 
 // Fingerprint derives the campaign fingerprint for these options and the
@@ -70,6 +77,7 @@ func (o *Options) Fingerprint(experiments []string) Fingerprint {
 		MaxRetries:  o.MaxRetries,
 		FaultScope:  o.FaultScope.String(),
 		Faults:      o.Faults,
+		Check:       o.Check,
 	}
 }
 

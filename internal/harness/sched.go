@@ -282,6 +282,9 @@ func (s *sweep) exec(c *sweepCell) {
 	rc := c.rc
 	rc.MaxBudget = s.opt.budget()
 	rc.WatchdogCycles = s.opt.WatchdogCycles
+	if s.opt.Check {
+		rc.Check = true
+	}
 	switch {
 	case s.faultErr != nil:
 		c.err = &RunError{Workload: c.w.Name, Tech: rc.Tech, Phase: "setup", Err: s.faultErr}

@@ -13,12 +13,28 @@ import (
 	"runtime/debug"
 
 	"vrsim/internal/cpu"
+	"vrsim/internal/oracle"
 	"vrsim/internal/workloads"
 )
 
 // ErrNoProgress is the core's forward-progress watchdog error, re-exported
 // so campaign code can classify hangs against this package alone.
 var ErrNoProgress = cpu.ErrNoProgress
+
+// ErrOracleDivergence reports that the cosimulation oracle caught the
+// timing core committing a different program than the in-order reference
+// model (RunConfig.Check). The wrapping *RunError carries the divergence
+// detail — both machine snapshots — in its message. Divergences are
+// deterministic simulator bugs, never environmental flakes, so they are
+// permanent: RunError.Transient is false and the sweep engine never
+// retries them.
+var ErrOracleDivergence = oracle.ErrDivergence
+
+// ErrInvariantViolation reports a failed microarchitectural invariant —
+// structure over capacity, ROB order broken, MSHR leak, counter running
+// backwards (RunConfig.Check). Like oracle divergences these are
+// permanent and never retried.
+var ErrInvariantViolation = oracle.ErrInvariant
 
 // Snapshot captures the machine state of a failed run at the moment the
 // failure was detected: where execution was, how full every back-end

@@ -1,0 +1,113 @@
+// Differential fuzzing: random programs executed on the timing core under
+// full cosimulation. Any program on which the out-of-order core and the
+// in-order reference model disagree — on PC, addresses, values or commit
+// ordering — is a simulator bug; resource-limit aborts (budget, cycle cap,
+// watchdog) are expected outcomes on adversarial programs and pass.
+
+package oracle_test
+
+import (
+	"errors"
+	"testing"
+
+	"vrsim/internal/core"
+	"vrsim/internal/cpu"
+	"vrsim/internal/isa"
+	"vrsim/internal/mem"
+	"vrsim/internal/oracle"
+)
+
+// decodeProgram maps raw fuzz bytes to a structurally valid program: one
+// instruction per 8-byte group, opcodes folded into range, branch targets
+// folded into [0, len] (len decodes as the appended Halt), scales capped
+// at 3 and displacements kept small so effective addresses stay within a
+// few pages of the seeded region.
+func decodeProgram(code []byte) *isa.Program {
+	n := len(code) / 8
+	instrs := make([]isa.Instr, 0, n+1)
+	nops := int(isa.Halt) + 1
+	for i := 0; i < n; i++ {
+		b := code[i*8 : i*8+8]
+		in := isa.Instr{
+			Op:     isa.Op(b[0]) % isa.Op(nops),
+			Dst:    isa.Reg(b[1] % isa.NumRegs),
+			Src1:   isa.Reg(b[2] % isa.NumRegs),
+			Src2:   isa.Reg(b[3] % isa.NumRegs),
+			Scale:  b[4] % 4,
+			Imm:    int64(int8(b[5])) * 8,
+			Target: int(b[6]) % (n + 1),
+		}
+		if in.Op == isa.Li {
+			in.Imm = int64(b[5])<<8 | int64(b[7])
+		}
+		instrs = append(instrs, in)
+	}
+	instrs = append(instrs, isa.Instr{Op: isa.Halt})
+	return &isa.Program{Instrs: instrs, Name: "fuzz"}
+}
+
+// FuzzOracleVsCore runs a decoded random program on the timing core with
+// the oracle and invariant checker attached, under each engine selected
+// by the first input byte. Divergences and invariant violations fail; any
+// other abort (instruction budget, cycle cap, watchdog) is an accepted
+// outcome for adversarial programs.
+func FuzzOracleVsCore(f *testing.F) {
+	// Seeds: straight-line ALU, a load/store loop, a tight branch loop,
+	// and a divide-by-zero mix; one per engine selector.
+	f.Add(byte(0), []byte{20, 1, 0, 0, 0, 9, 0, 0, 1, 2, 1, 1, 0, 0, 0, 0})
+	f.Add(byte(1), []byte{31, 5, 1, 2, 3, 16, 0, 0, 32, 6, 1, 2, 3, 16, 0, 0, 33, 0, 5, 6, 0, 0, 0, 0})
+	f.Add(byte(2), []byte{12, 1, 1, 0, 0, 1, 0, 0, 36, 1, 1, 2, 0, 0, 0, 0})
+	f.Add(byte(3), []byte{23, 3, 1, 2, 0, 0, 0, 0, 24, 4, 1, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, sel byte, code []byte) {
+		if len(code) > 4096 {
+			return // bound program size; budget below bounds dynamic work
+		}
+		prog := decodeProgram(code)
+		data, shadow := mem.NewBacking(), mem.NewBacking()
+		for i := uint64(0); i < 128; i++ {
+			data.Store(8*i, i^0x5a)
+			shadow.Store(8*i, i^0x5a)
+		}
+		hier := mem.MustHierarchy(mem.DefaultConfig())
+		hier.Data = data
+		cfg := cpu.DefaultConfig()
+		cfg.MaxCycles = 200_000
+		cfg.WatchdogCycles = 20_000
+		c := cpu.New(cfg, prog, data, hier)
+
+		var holding func() bool
+		switch sel % 4 {
+		case 1:
+			vr := core.NewVR(core.DefaultVRConfig())
+			vr.Bind(c)
+			holding = vr.Holding
+		case 2:
+			pre := core.NewPRE(core.DefaultPREConfig())
+			c.AttachEngine(pre)
+			holding = pre.Holding
+		case 3:
+			ra := core.NewClassicRA(core.DefaultRAConfig())
+			c.AttachEngine(ra)
+			holding = ra.Holding
+		}
+		k := oracle.NewChecker(prog, shadow, holding)
+		c.CommitObserver = k.OnCommit
+		inv := oracle.NewInvariantChecker(c)
+		check := func() error {
+			if err := k.Err(); err != nil {
+				return err
+			}
+			return inv.Check()
+		}
+		err := c.RunChecked(5_000, 64, check)
+		if err == nil {
+			err = check()
+		}
+		if err == nil {
+			err = k.Final(c.ArchRegs(), c.Halted())
+		}
+		if err != nil && (errors.Is(err, oracle.ErrDivergence) || errors.Is(err, oracle.ErrInvariant)) {
+			t.Fatalf("core and oracle disagree on fuzzed program: %v\n%s", err, isa.DisasmProgram(prog))
+		}
+	})
+}

@@ -1,0 +1,95 @@
+package oracle
+
+import (
+	"errors"
+	"fmt"
+
+	"vrsim/internal/cpu"
+	"vrsim/internal/mem"
+)
+
+// ErrInvariant is wrapped by every microarchitectural invariant
+// violation; callers classify with errors.Is.
+var ErrInvariant = errors.New("oracle: invariant violation")
+
+// Violation reports one failed microarchitectural invariant together with
+// a minimal machine snapshot locating it.
+type Violation struct {
+	// Msg describes the failed invariant.
+	Msg string
+	// Cycle and Committed snapshot the run's progress at detection.
+	Cycle, Committed uint64
+	// HeadPC is the ROB head's PC (-1 when the window was empty).
+	HeadPC int
+}
+
+// Error renders the violation with its snapshot.
+func (v *Violation) Error() string {
+	return fmt.Sprintf("%v: %s (cycle=%d committed=%d head pc=%d)",
+		ErrInvariant, v.Msg, v.Cycle, v.Committed, v.HeadPC)
+}
+
+// Unwrap ties every Violation to ErrInvariant for errors.Is.
+func (v *Violation) Unwrap() error { return ErrInvariant }
+
+// InvariantChecker validates microarchitectural invariants at the
+// RunChecked cadence: the core's structural invariants (ROB geometry and
+// ordering, queue occupancies, scheduler-list liveness — see
+// cpu.Core.CheckInvariants), MSHR accounting, and the monotonicity of the
+// cycle and commit counters between consecutive checks. Like the
+// cosimulation oracle it is strictly observational.
+type InvariantChecker struct {
+	c    *cpu.Core
+	mshr *mem.MSHRFile
+
+	armed         bool
+	lastCycle     uint64
+	lastCommitted uint64
+}
+
+// NewInvariantChecker builds a checker over the core and its hierarchy's
+// L1-D MSHR file.
+func NewInvariantChecker(c *cpu.Core) *InvariantChecker {
+	return &InvariantChecker{c: c, mshr: c.Hier().MSHR}
+}
+
+// Rearm resets the monotonicity baselines. Call it at every statistics
+// reset (the region-of-interest boundary zeroes Stats.Committed, which
+// would otherwise read as the counter running backwards).
+func (ic *InvariantChecker) Rearm() { ic.armed = false }
+
+// Check validates every invariant, returning a *Violation wrapping
+// ErrInvariant for the first failure. It is valid only between cycles —
+// where the RunChecked hook fires — because several structures are
+// transiently inconsistent mid-cycle.
+func (ic *InvariantChecker) Check() error {
+	c := ic.c
+	cycle, committed := c.Cycle(), c.Stats.Committed
+	if ic.armed {
+		if cycle < ic.lastCycle {
+			return ic.fail(fmt.Sprintf("cycle counter ran backwards: %d after %d", cycle, ic.lastCycle))
+		}
+		if committed < ic.lastCommitted {
+			return ic.fail(fmt.Sprintf("commit counter ran backwards: %d after %d", committed, ic.lastCommitted))
+		}
+	}
+	ic.armed = true
+	ic.lastCycle, ic.lastCommitted = cycle, committed
+
+	if err := c.CheckInvariants(); err != nil {
+		return ic.fail(err.Error())
+	}
+	if inflight, capacity := ic.mshr.InFlight(cycle), ic.mshr.Capacity(); inflight > capacity {
+		return ic.fail(fmt.Sprintf("MSHR file leaked: %d in flight, capacity %d", inflight, capacity))
+	}
+	return nil
+}
+
+func (ic *InvariantChecker) fail(msg string) error {
+	return &Violation{
+		Msg:       msg,
+		Cycle:     ic.c.Cycle(),
+		Committed: ic.c.Stats.Committed,
+		HeadPC:    ic.c.HeadPC(),
+	}
+}

@@ -1,0 +1,60 @@
+package oracle
+
+import (
+	"fmt"
+	"strings"
+
+	"vrsim/internal/cpu"
+	"vrsim/internal/isa"
+)
+
+// TraceRecorder captures the first Max retired instructions as a
+// deterministic text trace: one line per commit with the PC, the
+// disassembled instruction, the destination write and the effective
+// address. Sequence numbers and cycle counts are deliberately excluded —
+// they depend on wrong-path dispatch and timing and therefore differ
+// across runahead techniques — so the trace records exactly the
+// architectural stream, which every technique must reproduce identically.
+// The golden-trace regression fixtures are written and compared in this
+// format.
+type TraceRecorder struct {
+	// Max bounds the number of recorded commits; 0 records nothing.
+	Max int
+
+	lines []string
+}
+
+// OnCommit records one retirement; attach it as (or within) the core's
+// CommitObserver.
+func (t *TraceRecorder) OnCommit(ev cpu.CommitEvent) {
+	if len(t.lines) >= t.Max {
+		return
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%5d  %-28s", ev.PC, isa.Disasm(ev.In))
+	if ev.WroteReg {
+		fmt.Fprintf(&sb, " %s=%#x", ev.Dst, ev.Val)
+	}
+	if ev.In.IsStore() {
+		fmt.Fprintf(&sb, " val=%#x", ev.Val)
+	}
+	if ev.In.IsMem() {
+		fmt.Fprintf(&sb, " @%#x", ev.Addr)
+	}
+	t.lines = append(t.lines, sb.String())
+}
+
+// Full reports whether the recorder has captured Max commits.
+func (t *TraceRecorder) Full() bool { return len(t.lines) >= t.Max }
+
+// Lines returns the recorded trace lines.
+func (t *TraceRecorder) Lines() []string { return t.lines }
+
+// Text returns the trace as newline-joined text with a trailing newline,
+// the on-disk fixture format.
+func (t *TraceRecorder) Text() string {
+	if len(t.lines) == 0 {
+		return ""
+	}
+	return strings.Join(t.lines, "\n") + "\n"
+}
