@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint check chaos bench
+.PHONY: build test lint check chaos bench benchdiff
 
 build:
 	$(GO) build ./...
@@ -34,3 +34,12 @@ check:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# Allocation-budget gate: re-run the benchmarks (6 repeats, median taken
+# by the comparator) and fail if any benchmark's allocs/op regressed >25%
+# against the committed baseline (BENCH_PR7.json). ns/op is reported but
+# never gates — only allocation counts are stable on shared hardware.
+# See scripts/benchdiff.
+benchdiff:
+	$(GO) test -bench=. -benchmem -benchtime=1x -count=6 -run=^$$ . | $(GO) run ./scripts/benchdiff -record /tmp/bench_now.json -note "benchdiff candidate"
+	$(GO) run ./scripts/benchdiff -old BENCH_PR7.json -new /tmp/bench_now.json -threshold 25

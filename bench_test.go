@@ -43,6 +43,7 @@ func reportSpeedups(b *testing.B, rows []harness.PerfRow) {
 
 // BenchmarkTable1Config regenerates the baseline configuration table (T1).
 func BenchmarkTable1Config(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		t := harness.ExpT1Config()
 		if len(t.Rows) == 0 {
@@ -54,6 +55,7 @@ func BenchmarkTable1Config(b *testing.B) {
 // BenchmarkTable2Graphs regenerates the graph-input table (T2): measured
 // LLC MPKI on the synthetic KR and UR inputs.
 func BenchmarkTable2Graphs(b *testing.B) {
+	b.ReportAllocs()
 	opt := harness.Options{MaxBudget: 150_000, Parallel: 1}
 	for i := 0; i < b.N; i++ {
 		t, err := harness.ExpT2Graphs(opt)
@@ -69,6 +71,7 @@ func BenchmarkTable2Graphs(b *testing.B) {
 // BenchmarkFig2ROBSweep regenerates the motivation figure (F2): OoO and VR
 // performance and window-stall time across ROB sizes.
 func BenchmarkFig2ROBSweep(b *testing.B) {
+	b.ReportAllocs()
 	opt := benchOpt()
 	opt.Workloads = []string{"camel", "hj8"}
 	opt.ROBSizes = []int{128, 224, 350}
@@ -86,6 +89,7 @@ func BenchmarkFig2ROBSweep(b *testing.B) {
 // BenchmarkFig7Performance regenerates the main results figure (F7):
 // all techniques over the hpc-db set, reporting h-mean speedups.
 func BenchmarkFig7Performance(b *testing.B) {
+	b.ReportAllocs()
 	opt := benchOpt()
 	var rows []harness.PerfRow
 	for i := 0; i < b.N; i++ {
@@ -102,6 +106,7 @@ func BenchmarkFig7Performance(b *testing.B) {
 // kernels (graph construction dominates; kept separate so the hpc-db
 // benchmark stays fast).
 func BenchmarkFig7GAP(b *testing.B) {
+	b.ReportAllocs()
 	opt := benchOpt()
 	opt.Workloads = []string{"bfs_kr", "cc_kr"}
 	var rows []harness.PerfRow
@@ -117,6 +122,7 @@ func BenchmarkFig7GAP(b *testing.B) {
 
 // BenchmarkFig8Ablation regenerates the mechanism-breakdown figure (F8).
 func BenchmarkFig8Ablation(b *testing.B) {
+	b.ReportAllocs()
 	opt := benchOpt()
 	opt.Workloads = []string{"camel", "hj8"}
 	for i := 0; i < b.N; i++ {
@@ -133,6 +139,7 @@ func BenchmarkFig8Ablation(b *testing.B) {
 // BenchmarkFig9MLP regenerates the memory-level-parallelism figure (F9)
 // and reports the mean MLP ratio (VR over OoO) across the set.
 func BenchmarkFig9MLP(b *testing.B) {
+	b.ReportAllocs()
 	opt := benchOpt()
 	var ratioSum float64
 	var n int
@@ -157,6 +164,7 @@ func BenchmarkFig9MLP(b *testing.B) {
 
 // BenchmarkFig10AccuracyCoverage regenerates the traffic/coverage figure.
 func BenchmarkFig10AccuracyCoverage(b *testing.B) {
+	b.ReportAllocs()
 	opt := benchOpt()
 	opt.Workloads = []string{"camel", "kangaroo"}
 	for i := 0; i < b.N; i++ {
@@ -168,6 +176,7 @@ func BenchmarkFig10AccuracyCoverage(b *testing.B) {
 
 // BenchmarkFig11Timeliness regenerates the timeliness figure (F11).
 func BenchmarkFig11Timeliness(b *testing.B) {
+	b.ReportAllocs()
 	opt := benchOpt()
 	opt.Workloads = []string{"camel", "hj8"}
 	for i := 0; i < b.N; i++ {
@@ -179,6 +188,7 @@ func BenchmarkFig11Timeliness(b *testing.B) {
 
 // BenchmarkFig12VectorLength regenerates the vector-length sweep (F12).
 func BenchmarkFig12VectorLength(b *testing.B) {
+	b.ReportAllocs()
 	opt := benchOpt()
 	opt.Workloads = []string{"camel"}
 	opt.VectorLengths = []int{8, 32, 64}
@@ -192,6 +202,7 @@ func BenchmarkFig12VectorLength(b *testing.B) {
 // BenchmarkFig13DelayedTermination regenerates the delayed-termination
 // cost figure (F13).
 func BenchmarkFig13DelayedTermination(b *testing.B) {
+	b.ReportAllocs()
 	opt := benchOpt()
 	opt.Workloads = []string{"camel", "hj8"}
 	for i := 0; i < b.N; i++ {
@@ -203,6 +214,7 @@ func BenchmarkFig13DelayedTermination(b *testing.B) {
 
 // BenchmarkTable3Hardware regenerates the hardware-overhead table (T3).
 func BenchmarkTable3Hardware(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		t := harness.ExpT3Hardware()
 		if len(t.Rows) == 0 {
@@ -216,6 +228,7 @@ func BenchmarkTable3Hardware(b *testing.B) {
 // cells overlap. The output is byte-identical to the serial run; only
 // wall-clock changes (bounded by the host's core count).
 func BenchmarkTable2GraphsParallel(b *testing.B) {
+	b.ReportAllocs()
 	opt := harness.Options{MaxBudget: 150_000, Parallel: 8}
 	for i := 0; i < b.N; i++ {
 		t, err := harness.ExpT2Graphs(opt)
@@ -232,6 +245,7 @@ func BenchmarkTable2GraphsParallel(b *testing.B) {
 // -parallel 8: per-workload baselines run concurrently, technique cells
 // start as soon as their own baseline completes.
 func BenchmarkFig7PerformanceParallel(b *testing.B) {
+	b.ReportAllocs()
 	opt := benchOpt()
 	opt.Parallel = 8
 	var rows []harness.PerfRow
@@ -248,6 +262,7 @@ func BenchmarkFig7PerformanceParallel(b *testing.B) {
 // BenchmarkFig2ROBSweepParallel is BenchmarkFig2ROBSweep at -parallel 8:
 // the ROB-size × workload grid fans out across the pool.
 func BenchmarkFig2ROBSweepParallel(b *testing.B) {
+	b.ReportAllocs()
 	opt := benchOpt()
 	opt.Parallel = 8
 	opt.Workloads = []string{"camel", "hj8"}
@@ -267,6 +282,7 @@ func BenchmarkFig2ROBSweepParallel(b *testing.B) {
 // the camel kernel on the baseline core) — the cost model behind every
 // experiment above.
 func BenchmarkSimulatorThroughput(b *testing.B) {
+	b.ReportAllocs()
 	w, err := Workload("camel")
 	if err != nil {
 		b.Fatal(err)

@@ -313,8 +313,8 @@ func runExp(id string, opt harness.Options, format string) (degraded, cancelled 
 	if err != nil {
 		return false, false, err
 	}
-	degraded = len(t.Errors) > 0
-	cancelled = t.Cancelled > 0
+	//vrlint:allow lockcheck -- the experiment driver has returned: all cell goroutines are joined, so these reads are ordered after every guarded write
+	degraded, cancelled = len(t.Errors) > 0, t.Cancelled > 0
 	if format == "json" {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")

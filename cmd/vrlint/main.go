@@ -1,22 +1,25 @@
 // Command vrlint is the simulator-invariant multichecker: it runs the
-// seven vrsim-specific static-analysis passes (simdet, panicfree,
-// cyclesafe, cfgflow, statsflow, exhaustive, boundcheck) over the
+// ten vrsim-specific static-analysis passes — six per-package (simdet,
+// panicfree, cyclesafe, cfgflow, exhaustive, boundcheck) and four
+// module-scope (statsflow, hotalloc, lockcheck, observe) — over the
 // repository and fails when any invariant is violated. See DESIGN.md
 // "Static invariants" for what each pass encodes and the
 // `//vrlint:allow` suppression syntax.
 //
 // Standalone usage (what `make lint` runs):
 //
-//	vrlint [packages...]        # default ./...
-//	vrlint -json [packages...]  # machine-readable findings (incl. suppressed)
-//	vrlint -list                # describe the passes and exit
+//	vrlint [packages...]          # default ./...
+//	vrlint -json [packages...]    # machine-readable findings (incl. suppressed)
+//	vrlint -census FILE [pkgs...] # also write hotalloc's allocation census JSON
+//	vrlint -list                  # describe the passes and exit
 //
 // vrlint also speaks the `go vet -vettool` unit-checker protocol: when
 // invoked by the go command with a *.cfg argument it type-checks the unit
 // from the supplied export data and reports findings for that package
 // alone, so `go vet -vettool=$(which vrlint) ./...` integrates the passes
-// into any vet-based workflow. Module-scope passes (statsflow) need the
-// whole package graph at once and therefore run only in standalone mode.
+// into any vet-based workflow. Module-scope passes (statsflow, hotalloc,
+// lockcheck, observe) need the whole package graph at once and therefore
+// run only in standalone mode.
 package main
 
 import (
@@ -37,6 +40,9 @@ import (
 	"vrsim/internal/analysis/cfgflow"
 	"vrsim/internal/analysis/cyclesafe"
 	"vrsim/internal/analysis/exhaustive"
+	"vrsim/internal/analysis/hotalloc"
+	"vrsim/internal/analysis/lockcheck"
+	"vrsim/internal/analysis/observe"
 	"vrsim/internal/analysis/panicfree"
 	"vrsim/internal/analysis/simdet"
 	"vrsim/internal/analysis/statsflow"
@@ -44,7 +50,7 @@ import (
 
 // version participates in the go command's content-based caching of vet
 // results; bump it when a pass changes behaviour.
-const version = "vrlint version 2.0.0"
+const version = "vrlint version 3.0.0"
 
 // analyzers is the multichecker's per-package pass set.
 var analyzers = []*analysis.Analyzer{
@@ -59,6 +65,9 @@ var analyzers = []*analysis.Analyzer{
 // moduleAnalyzers is the whole-module pass set (standalone mode only).
 var moduleAnalyzers = []*analysis.ModuleAnalyzer{
 	statsflow.Analyzer,
+	hotalloc.Analyzer,
+	lockcheck.Analyzer,
+	observe.Analyzer,
 }
 
 func main() {
@@ -67,6 +76,7 @@ func main() {
 		printFlags   = flag.Bool("flags", false, "print analyzer flags as JSON (go vet protocol)")
 		list         = flag.Bool("list", false, "describe the passes and exit")
 		jsonOut      = flag.Bool("json", false, "emit findings as JSON, including suppressed ones")
+		censusFile   = flag.String("census", "", "write hotalloc's steady-state allocation census to this JSON file")
 	)
 	flag.Parse()
 
@@ -91,7 +101,29 @@ func main() {
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
 		os.Exit(vetUnit(args[0]))
 	}
-	os.Exit(standalone(args, *jsonOut))
+	os.Exit(standalone(args, *jsonOut, *censusFile))
+}
+
+// writeCensus emits hotalloc's allocation census — every steady-state
+// heap-allocation site in the cycle-reachable closure, suppressed or
+// not, with its justification — as the baseline artifact for the perf
+// overhaul.
+func writeCensus(pkgs []*analysis.Package, file string) error {
+	sites, err := hotalloc.Census(pkgs)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(file)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(sites); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // jsonDiag is one finding in `vrlint -json` output.
@@ -107,11 +139,17 @@ type jsonDiag struct {
 // standalone loads the requested packages with the go list driver and
 // applies every pass, honoring each analyzer's Scope. Module-scope
 // analyzers run once over the full package set.
-func standalone(patterns []string, jsonOut bool) int {
+func standalone(patterns []string, jsonOut bool, censusFile string) int {
 	pkgs, err := analysis.Load("", patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vrlint:", err)
 		return 1
+	}
+	if censusFile != "" {
+		if err := writeCensus(pkgs, censusFile); err != nil {
+			fmt.Fprintln(os.Stderr, "vrlint: census:", err)
+			return 1
+		}
 	}
 	var all []analysis.Diagnostic
 	for _, pkg := range pkgs {

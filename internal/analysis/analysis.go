@@ -7,7 +7,9 @@
 // vrlint pass.
 //
 // The simulator-specific passes live in the subpackages simdet, panicfree,
-// cyclesafe and cfgflow; cmd/vrlint assembles them into a multichecker.
+// cyclesafe, cfgflow, exhaustive, boundcheck (per-package) and statsflow,
+// hotalloc, lockcheck, observe (module-scope); cmd/vrlint assembles them
+// into a multichecker.
 // Each invariant they encode — and why determinism is load-bearing for the
 // EXPERIMENTS.md shape comparisons — is documented in DESIGN.md under
 // "Static invariants".
@@ -179,44 +181,55 @@ const AllowPrefix = "//vrlint:allow"
 // suppressions indexes every //vrlint:allow annotation in a package.
 type suppressions struct {
 	fset *token.FileSet
-	// byLine maps file -> line -> analyzer names allowed on that line.
-	byLine map[string]map[int]map[string]bool
+	// byLine maps file -> line -> analyzer name -> justification (the
+	// text after "--", possibly empty) for annotations covering the line.
+	byLine map[string]map[int]map[string]string
 	files  []*ast.File
 }
 
 // parseAllow extracts the analyzer names from one comment, or nil if the
 // comment is not an allow annotation.
 func parseAllow(text string) []string {
+	names, _ := parseAllowReason(text)
+	return names
+}
+
+// parseAllowReason extracts the analyzer names and the justification (the
+// trimmed text after "--") from one comment, or (nil, "") if the comment
+// is not an allow annotation.
+func parseAllowReason(text string) ([]string, string) {
 	if !strings.HasPrefix(text, AllowPrefix) {
-		return nil
+		return nil, ""
 	}
 	rest := strings.TrimPrefix(text, AllowPrefix)
 	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
-		return nil // e.g. //vrlint:allowed — not ours
+		return nil, "" // e.g. //vrlint:allowed — not ours
 	}
+	reason := ""
 	if i := strings.Index(rest, "--"); i >= 0 {
+		reason = strings.TrimSpace(rest[i+2:])
 		rest = rest[:i]
 	}
 	var names []string
 	for _, f := range strings.FieldsFunc(rest, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' }) {
 		names = append(names, f)
 	}
-	return names
+	return names, reason
 }
 
 func newSuppressions(fset *token.FileSet, files []*ast.File) *suppressions {
-	s := &suppressions{fset: fset, byLine: map[string]map[int]map[string]bool{}, files: files}
+	s := &suppressions{fset: fset, byLine: map[string]map[int]map[string]string{}, files: files}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				names := parseAllow(c.Text)
+				names, reason := parseAllowReason(c.Text)
 				if len(names) == 0 {
 					continue
 				}
 				pos := fset.Position(c.Pos())
 				lines := s.byLine[pos.Filename]
 				if lines == nil {
-					lines = map[int]map[string]bool{}
+					lines = map[int]map[string]string{}
 					s.byLine[pos.Filename] = lines
 				}
 				// The annotation covers its own line and the next one, so
@@ -224,11 +237,11 @@ func newSuppressions(fset *token.FileSet, files []*ast.File) *suppressions {
 				for _, ln := range []int{pos.Line, pos.Line + 1} {
 					set := lines[ln]
 					if set == nil {
-						set = map[string]bool{}
+						set = map[string]string{}
 						lines[ln] = set
 					}
 					for _, n := range names {
-						set[n] = true
+						set[n] = reason
 					}
 				}
 			}
@@ -237,11 +250,24 @@ func newSuppressions(fset *token.FileSet, files []*ast.File) *suppressions {
 	return s
 }
 
+// lineReason returns the justification of an annotation covering
+// (filename, line) that names the analyzer, and whether one exists.
+func (s *suppressions) lineReason(name, filename string, line int) (string, bool) {
+	set := s.byLine[filename][line]
+	if r, ok := set[name]; ok {
+		return r, true
+	}
+	if r, ok := set["all"]; ok {
+		return r, true
+	}
+	return "", false
+}
+
 // lineAllows reports whether an annotation covering (filename, line)
 // names the analyzer.
 func (s *suppressions) lineAllows(name, filename string, line int) bool {
-	set := s.byLine[filename][line]
-	return set[name] || set["all"]
+	_, ok := s.lineReason(name, filename, line)
+	return ok
 }
 
 // covers reports whether a diagnostic from the named analyzer at pos is
@@ -249,9 +275,15 @@ func (s *suppressions) lineAllows(name, filename string, line int) bool {
 // comment of the enclosing function, or by one attached to the enclosing
 // package-level declaration.
 func (s *suppressions) covers(name string, pos token.Pos) bool {
+	_, ok := s.coversReason(name, pos)
+	return ok
+}
+
+// coversReason is covers returning the annotation's justification too.
+func (s *suppressions) coversReason(name string, pos token.Pos) (string, bool) {
 	p := s.fset.Position(pos)
-	if s.lineAllows(name, p.Filename, p.Line) {
-		return true
+	if r, ok := s.lineReason(name, p.Filename, p.Line); ok {
+		return r, true
 	}
 	for _, f := range s.files {
 		if f.Pos() > pos || f.End() < pos {
@@ -275,18 +307,28 @@ func (s *suppressions) covers(name string, pos token.Pos) bool {
 			dp := s.fset.Position(decl.Pos())
 			// An annotation anywhere in the declaration's doc comment, or
 			// on the line just above the declaration, covers all of it.
-			if s.lineAllows(name, dp.Filename, dp.Line) {
-				return true
+			if r, ok := s.lineReason(name, dp.Filename, dp.Line); ok {
+				return r, true
 			}
 			if doc != nil {
 				for ln := s.fset.Position(doc.Pos()).Line; ln <= s.fset.Position(doc.End()).Line; ln++ {
-					if s.lineAllows(name, dp.Filename, ln) {
-						return true
+					if r, ok := s.lineReason(name, dp.Filename, ln); ok {
+						return r, true
 					}
 				}
 			}
-			return false
+			return "", false
 		}
 	}
-	return false
+	return "", false
+}
+
+// Justification returns the //vrlint:allow justification text covering a
+// diagnostic from the named analyzer at pos, resolving coverage exactly
+// like suppression does. The boolean reports whether any covering
+// annotation exists (its justification may still be empty). The hotalloc
+// census uses this to carry each allowed site's reason into the JSON
+// artifact.
+func Justification(fset *token.FileSet, files []*ast.File, name string, pos token.Pos) (string, bool) {
+	return newSuppressions(fset, files).coversReason(name, pos)
 }

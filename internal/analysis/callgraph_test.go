@@ -1,0 +1,35 @@
+package analysis
+
+import "testing"
+
+// TestCallGraphOnRepo builds the module call graph over the real cpu and
+// core packages and checks the resolution mechanisms end to end:
+// indexing, interface dispatch (Core.Run ticking its Engine), and the
+// human-readable key rendering.
+func TestCallGraphOnRepo(t *testing.T) {
+	pkgs, err := Load("", "vrsim/internal/cpu", "vrsim/internal/core")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	g := BuildCallGraph(pkgs)
+
+	run := g.Funcs["(vrsim/internal/cpu.Core).Run"]
+	if run == nil {
+		t.Fatal("(vrsim/internal/cpu.Core).Run not indexed")
+	}
+	if got := run.Name(); got != "(cpu.Core).Run" {
+		t.Errorf("Name() = %q, want %q", got, "(cpu.Core).Run")
+	}
+
+	// Core drives its engines through the Engine interface; structural
+	// resolution must make the VR engine's Tick reachable from Run.
+	reach := g.Reachable([]string{"(vrsim/internal/cpu.Core).Run"})
+	if !reach["(vrsim/internal/core.VR).Tick"] {
+		t.Error("(core.VR).Tick not reachable from (cpu.Core).Run via interface dispatch")
+	}
+	for key := range reach {
+		if len(key) > 6 && key[:6] == "param:" {
+			t.Errorf("pseudo-node %q leaked into Reachable result", key)
+		}
+	}
+}

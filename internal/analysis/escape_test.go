@@ -1,0 +1,66 @@
+package analysis
+
+import "testing"
+
+func TestParseEscapeOutput(t *testing.T) {
+	out := []byte(`./vr.go:376:14: make([]uint64, vl) escapes to heap:
+./vr.go:376:14:   flow: {heap} = &{storage for make([]uint64, vl)}:
+./vr.go:376:14:     from make([]uint64, vl) (spilled to stack slot)
+./vr.go:380:6: moved to heap: scratch
+./vr.go:380:6: moved to heap: scratch
+./vr.go:391:9: v does not escape
+not a diagnostic line
+./vr.go:400:2: leaking param: c
+`)
+	recs := parseEscapeOutput(out)
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2: %+v", len(recs), recs)
+	}
+	if recs[0].Line != 376 || recs[0].Col != 14 || recs[0].Message != "make([]uint64, vl) escapes to heap" {
+		t.Errorf("headline record wrong: %+v", recs[0])
+	}
+	if recs[1].Line != 380 || recs[1].Message != "moved to heap: scratch" {
+		t.Errorf("moved-to-heap record wrong (duplicate not collapsed?): %+v", recs[1])
+	}
+}
+
+func TestSplitDiagLine(t *testing.T) {
+	file, line, col, msg, ok := splitDiagLine("/tmp/a.b/x.go:12:3: escapes to heap")
+	if !ok || file != "/tmp/a.b/x.go" || line != 12 || col != 3 || msg != "escapes to heap" {
+		t.Errorf("got (%q,%d,%d,%q,%v)", file, line, col, msg, ok)
+	}
+	if _, _, _, _, ok := splitDiagLine("no position here"); ok {
+		t.Error("parsed a line with no .go: anchor")
+	}
+}
+
+func TestEscapeIndexInRange(t *testing.T) {
+	ix := &EscapeIndex{byFile: map[string][]EscapeRecord{
+		"a.go": {{File: "a.go", Line: 3}, {File: "a.go", Line: 5}, {File: "a.go", Line: 9}},
+	}}
+	if got := ix.InRange("a.go", 4, 9); len(got) != 2 || got[0].Line != 5 || got[1].Line != 9 {
+		t.Errorf("InRange(4,9) = %+v", got)
+	}
+	if got := ix.InRange("a.go", 10, 20); len(got) != 0 {
+		t.Errorf("InRange(10,20) = %+v, want empty", got)
+	}
+	if got := ix.InRange("b.go", 1, 100); len(got) != 0 {
+		t.Errorf("InRange on unknown file = %+v, want empty", got)
+	}
+	var nilIx *EscapeIndex
+	if got := nilIx.InRange("a.go", 1, 2); got != nil {
+		t.Errorf("nil index InRange = %+v, want nil", got)
+	}
+}
+
+// TestLoadEscapesSmoke runs the real compiler escape pass over one repo
+// package: the loader must succeed and attribute records to mem files.
+func TestLoadEscapesSmoke(t *testing.T) {
+	ix, err := LoadEscapes("", []string{"vrsim/internal/mem"})
+	if err != nil {
+		t.Fatalf("LoadEscapes: %v", err)
+	}
+	if ix == nil {
+		t.Fatal("nil index without error")
+	}
+}

@@ -1,0 +1,57 @@
+package hotalloc
+
+import (
+	"strings"
+	"testing"
+
+	"vrsim/internal/analysis/analysistest"
+)
+
+func TestGolden(t *testing.T) {
+	defer func(old bool) { CompilerEscapes = old }(CompilerEscapes)
+	CompilerEscapes = false // testdata lives outside any module; AST-only
+	analysistest.RunModule(t, Analyzer,
+		"vrsim/internal/cpu",
+		"vrsim/internal/core",
+		"vrsim/internal/harness",
+	)
+}
+
+// TestCensus checks that the census includes the justified-annotated site
+// with its reason while the golden diagnostics exclude it.
+func TestCensus(t *testing.T) {
+	defer func(old bool) { CompilerEscapes = old }(CompilerEscapes)
+	CompilerEscapes = false
+	pkgs := analysistest.LoadPackages(t, "testdata/src",
+		"vrsim/internal/cpu", "vrsim/internal/core", "vrsim/internal/harness")
+	sites, err := Census(pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var justified *Site
+	for i := range sites {
+		if sites[i].Suppressed {
+			justified = &sites[i]
+		}
+	}
+	if justified == nil {
+		t.Fatalf("census has no suppressed site; got %d sites", len(sites))
+	}
+	if !strings.Contains(justified.Justification, "PR-8") {
+		t.Errorf("justification not carried into census: %q", justified.Justification)
+	}
+	if justified.Kind != "append" {
+		t.Errorf("suppressed site kind = %q, want append", justified.Kind)
+	}
+	// Unsuppressed sites must match the golden expectations in count: one
+	// per want comment (5 across the three fixtures).
+	var live int
+	for _, s := range sites {
+		if !s.Suppressed {
+			live++
+		}
+	}
+	if live != 6 {
+		t.Errorf("census live sites = %d, want 6", live)
+	}
+}

@@ -1,0 +1,63 @@
+// Stub of a runahead engine: its per-cycle methods (Tick, HoldCommit,
+// Holding) are hotalloc roots of their own.
+package core
+
+import (
+	"fmt"
+
+	"vrsim/internal/cpu"
+)
+
+// VR is the vector-runahead engine stub.
+type VR struct {
+	vl      int
+	active  bool
+	scratch []uint64
+}
+
+func record(v any) {}
+
+// Tick advances the engine one cycle.
+func (v *VR) Tick(c *cpu.Core) {
+	vec := v.gather()
+	_ = vec
+	if v.active {
+		_ = fmt.Sprintf("vr: vl=%d", v.vl) // want `fmt\.Sprintf call in cycle-reachable \(core\.VR\)\.Tick`
+	}
+	record(v.vl) // want `interface boxing of int in cycle-reachable \(core\.VR\)\.Tick`
+	if err := v.refill(); err != nil {
+		return
+	}
+	v.vectorize()
+}
+
+// HoldCommit mirrors the real engine's commit gate.
+func (v *VR) HoldCommit() bool { return v.Holding() }
+
+// Holding is the side-effect-free commit-hold predicate.
+func (v *VR) Holding() bool { return v.active }
+
+func (v *VR) gather() []uint64 {
+	out := make([]uint64, v.vl) // want `steady-state allocation: make in cycle-reachable \(core\.VR\)\.gather`
+	return out
+}
+
+// refill exercises the error-path exemption: allocations on paths that
+// terminate in a non-nil error return or a panic are not steady-state.
+func (v *VR) refill() error {
+	if v.vl <= 0 {
+		return fmt.Errorf("bad vl %d", v.vl) // error return: exempt
+	}
+	if v.scratch == nil {
+		msg := fmt.Sprintf("vr: no scratch at vl %d", v.vl) // branch ends in panic: exempt
+		panic(msg)
+	}
+	return nil
+}
+
+// vectorize exercises the justified-annotation path: the allocation is
+// real but carries its census reason.
+func (v *VR) vectorize() {
+	//vrlint:allow hotalloc -- per-activation scratch growth, pooled by the PR-8 overhaul
+	v.scratch = append(v.scratch, uint64(v.vl))
+}

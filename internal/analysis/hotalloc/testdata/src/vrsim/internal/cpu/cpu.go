@@ -1,0 +1,59 @@
+// Stub of the simulator core: the cycle-loop entry points hotalloc roots
+// its reachability closure at.
+package cpu
+
+import "fmt"
+
+// CommitEvent mirrors the real core's per-commit record.
+type CommitEvent struct {
+	Seq uint64
+	PC  int
+}
+
+// Engine mirrors the real per-cycle engine contract.
+type Engine interface {
+	Tick(c *Core)
+	HoldCommit() bool
+}
+
+// Core is the cycle-driven pipeline stub.
+type Core struct {
+	Cycle          uint64
+	iq             []int
+	scratch        []uint64
+	engine         Engine
+	CommitObserver func(CommitEvent)
+}
+
+// Run drives the cycle loop.
+func (c *Core) Run(budget uint64) {
+	c.scratch = make([]uint64, 64) // init-time prologue: outside the loop, exempt
+	for c.Cycle = 0; c.Cycle < budget; c.Cycle++ {
+		c.step()
+	}
+}
+
+// RunChecked is Run with a periodic check hook.
+func (c *Core) RunChecked(budget, every uint64, check func(*Core) error) error {
+	for c.Cycle = 0; c.Cycle < budget; c.Cycle++ {
+		c.step()
+		if every != 0 && c.Cycle%every == 0 {
+			if err := check(c); err != nil {
+				return fmt.Errorf("check at cycle %d: %w", c.Cycle, err) // error path: exempt
+			}
+		}
+	}
+	return nil
+}
+
+func (c *Core) step() {
+	buf := make([]uint64, 8) // want `steady-state allocation: make in cycle-reachable \(cpu\.Core\)\.step`
+	_ = buf
+	c.iq = append(c.iq, int(c.Cycle)) // want `append may grow backing array in cycle-reachable \(cpu\.Core\)\.step`
+	if c.engine != nil {
+		c.engine.Tick(c)
+	}
+	if c.CommitObserver != nil {
+		c.CommitObserver(CommitEvent{Seq: c.Cycle})
+	}
+}

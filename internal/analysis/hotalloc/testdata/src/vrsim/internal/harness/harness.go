@@ -1,0 +1,15 @@
+// Stub of the harness: proves the func-typed-parameter resolution — the
+// periodic check closure passed to RunChecked is cycle-reachable even
+// though nothing calls it statically.
+package harness
+
+import "vrsim/internal/cpu"
+
+// Execute runs a checked campaign cell.
+func Execute(c *cpu.Core) error {
+	return c.RunChecked(1000, 64, func(cc *cpu.Core) error {
+		tmp := make([]int, 4) // want `steady-state allocation: make in cycle-reachable harness\.func@harness\.go:\d+`
+		_ = tmp
+		return nil
+	})
+}

@@ -1,0 +1,11 @@
+package lockcheck
+
+import (
+	"testing"
+
+	"vrsim/internal/analysis/analysistest"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.RunModule(t, Analyzer, "lockex")
+}

@@ -1,0 +1,94 @@
+// Fixture for the lockcheck pass: a Table mirroring the harness's mutex
+// discipline, with seeded violations.
+package lockex
+
+import "sync"
+
+type Record struct{ N int }
+
+// Table mirrors harness.Table: every mutable field guarded by mu.
+type Table struct {
+	mu   sync.Mutex
+	rows []Record // vrlint:guardedby mu
+	n    int      // vrlint:guardedby mu
+}
+
+// Add is the correct lock-at-entry idiom: no findings.
+func (t *Table) Add(r Record) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rows = append(t.rows, r)
+	t.n++
+}
+
+// Len locks and unlocks explicitly: no findings.
+func (t *Table) Len() int {
+	t.mu.Lock()
+	n := t.n
+	t.mu.Unlock()
+	return n
+}
+
+// BadRead reads a guarded field with no lock at all.
+func (t *Table) BadRead() int {
+	return t.n // want `t\.n is guarded by "mu" but accessed without holding t\.mu`
+}
+
+// BadWrite appends to a guarded slice with no lock (one finding per
+// access: the write and the read inside append).
+func (t *Table) BadWrite(r Record) {
+	t.rows = append(t.rows, r) // want `t\.rows is guarded by "mu"` `t\.rows is guarded by "mu"`
+}
+
+// DoubleLock would deadlock at runtime.
+func (t *Table) DoubleLock() {
+	t.mu.Lock()
+	t.mu.Lock() // want `double lock of t\.mu`
+	_ = t.rows
+	t.mu.Unlock()
+}
+
+// AfterUnlock accesses past the release point.
+func (t *Table) AfterUnlock() {
+	t.mu.Lock()
+	t.mu.Unlock()
+	t.n++ // want `t\.n is guarded by "mu" but accessed without holding t\.mu`
+}
+
+// NewTable exercises the fresh-local exemption: a value that has not
+// escaped its constructor needs no lock.
+func NewTable() *Table {
+	t := &Table{}
+	t.rows = make([]Record, 0, 8)
+	t.n = 0
+	return t
+}
+
+// MaybeLocked holds the mutex on only one path into the access: "maybe"
+// is not "locked".
+func (t *Table) MaybeLocked(b bool) {
+	if b {
+		t.mu.Lock()
+	}
+	t.n++ // want `t\.n is guarded by "mu" but accessed without holding t\.mu`
+	if b {
+		t.mu.Unlock()
+	}
+}
+
+// SnapshotAfterJoin reads guarded fields lock-free under a justified
+// allow — the post-join idiom (all writer goroutines joined) that
+// cmd/vrbench uses. The suppression must silence exactly this pass.
+func (t *Table) SnapshotAfterJoin() (int, int) {
+	//vrlint:allow lockcheck -- all writers joined; reads are quiescent
+	rows, n := len(t.rows), t.n
+	return rows, n
+}
+
+// BadGuard's annotation names a field that is not a mutex: the
+// annotation itself is the finding.
+type BadGuard struct {
+	mu sync.Mutex
+	// vrlint:guardedby lock
+	bad int // want `vrlint:guardedby names "lock", which is not a sync\.Mutex/RWMutex field of BadGuard`
+}

@@ -1,0 +1,12 @@
+package observe
+
+import (
+	"testing"
+
+	"vrsim/internal/analysis/analysistest"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.RunModule(t, Analyzer,
+		"vrsim/internal/cpu", "vrsim/internal/core", "vrsim/internal/oracle")
+}

@@ -1,0 +1,22 @@
+// Fixture engines for the observe pass: Holding() predicates are part
+// of the purity contract even though they live on watched state.
+package core
+
+// VR holds its runahead state; Holding reads it and nothing else.
+type VR struct {
+	active bool
+	stalls uint64
+}
+
+func (v *VR) Holding() bool { return v.active }
+
+// RA's Holding sneaks in a counter bump — a seeded contract breach:
+// -check runs would diverge from unchecked ones.
+type RA struct {
+	holds uint64
+}
+
+func (r *RA) Holding() bool {
+	r.holds++ // want `observer purity: \(core\.RA\)\.Holding writes watched simulator state r\.holds`
+	return r.holds > 0
+}

@@ -1,0 +1,53 @@
+// Fixture core for the observe pass: watched simulator state plus the
+// CheckInvariants entry points (one pure, one seeded with a self-write).
+package cpu
+
+// Core is the watched simulator state.
+type Core struct {
+	Cycle     uint64
+	Committed uint64
+
+	// CommitObserver is invoked once per architectural commit.
+	CommitObserver func(seq uint64)
+
+	scratch []uint64
+}
+
+// Run is the simulator proper — free to mutate its own state.
+func (c *Core) Run(cycles int) {
+	for i := 0; i < cycles; i++ {
+		c.Cycle++
+		if c.CommitObserver != nil {
+			c.Committed++
+			c.CommitObserver(c.Committed)
+		}
+	}
+}
+
+// CheckInvariants is bound by the purity contract and keeps to it:
+// reads only.
+func (c *Core) CheckInvariants() bool {
+	return c.Committed <= c.Cycle
+}
+
+// Scratch hands out an internal buffer; writes through the returned
+// slice alias core state.
+func (c *Core) Scratch() []uint64 { return c.scratch }
+
+// Reset mutates the core: legitimate simulator code, but calling it
+// from observer context is a violation.
+func (c *Core) Reset() {
+	c.Cycle = 0
+	c.Committed = 0
+}
+
+// DebugCore's CheckInvariants breaks the contract with a stats
+// side-effect on watched state.
+type DebugCore struct {
+	hits uint64
+}
+
+func (d *DebugCore) CheckInvariants() bool {
+	d.hits++ // want `observer purity: \(cpu\.DebugCore\)\.CheckInvariants writes watched simulator state d\.hits`
+	return true
+}

@@ -1,0 +1,81 @@
+// Fixture oracle for the observe pass: a pure checker writing only its
+// own shadow state, and seeded violations covering direct writes,
+// write-effect call summaries, alias taint, and package-level state.
+package oracle
+
+import "vrsim/internal/cpu"
+
+// Divergence is the observer-owned latch the contract allows writes to.
+type Divergence struct {
+	Seq uint64
+	Msg string
+}
+
+// Checker is the happy path: every write lands in oracle-owned state.
+type Checker struct {
+	c       *cpu.Core
+	lastSeq uint64
+	div     *Divergence
+	trace   []uint64
+}
+
+// OnCommit records shadow state and reads — never writes — the core.
+func (k *Checker) OnCommit(seq uint64) {
+	k.lastSeq = seq
+	k.trace = append(k.trace, seq)
+	if k.div == nil {
+		_ = k.c.Committed
+	}
+}
+
+// Check latches a divergence into oracle-owned state.
+func (k *Checker) Check() bool {
+	if k.c.Committed < k.lastSeq {
+		k.div = &Divergence{Seq: k.lastSeq, Msg: "commit count regressed"}
+		return false
+	}
+	return true
+}
+
+// Wire installs the observer; the call graph learns the binding from
+// this field assignment.
+func Wire(c *cpu.Core, k *Checker) {
+	c.CommitObserver = k.OnCommit
+}
+
+// BadChecker mutates the core it is supposed to observe: a direct
+// field write, a call with a writes-receiver summary, and a write
+// through an aliased internal buffer.
+type BadChecker struct {
+	c *cpu.Core
+}
+
+func (b *BadChecker) OnCommit(seq uint64) {
+	b.c.Committed = seq // want `observer purity: \(oracle\.BadChecker\)\.OnCommit writes watched simulator state b\.c\.Committed`
+	b.c.Reset()         // want `observer purity: \(oracle\.BadChecker\)\.OnCommit calls \(cpu\.Core\)\.Reset, which writes its receiver \(watched simulator state\)`
+	s := b.c.Scratch()
+	s[0] = seq // want `observer purity: \(oracle\.BadChecker\)\.OnCommit writes watched simulator state s\[\.\.\.\]`
+}
+
+// TrainingTap is an impure observer under a justified allow: the
+// suppression convention the real stride-detector training tap uses
+// (internal/core.Bind). The annotation must silence observe — and only
+// observe — at this site.
+type TrainingTap struct {
+	c *cpu.Core
+}
+
+func (t *TrainingTap) OnCommit(seq uint64) {
+	//vrlint:allow observe -- training tap: feeds the prefetcher by design
+	t.c.Committed = seq
+}
+
+// commits is package-level state: writing it from an observer breaks
+// run-to-run purity just as surely as writing the core.
+var commits uint64
+
+type GlobalWriter struct{}
+
+func (GlobalWriter) OnCommit(seq uint64) {
+	commits++ // want `observer purity: \(oracle\.GlobalWriter\)\.OnCommit writes package-level state commits`
+}

@@ -29,6 +29,8 @@ const maxDivergeStack = 8
 // stashDivergent records the lanes that took the other branch direction.
 // It returns true if they were stashed; false means the caller should fall
 // back to masking them off (stack full or feature disabled).
+//
+//vrlint:allow hotalloc -- one mask copy per divergence, bounded by maxDivergeStack; pooled by the PR-8 overhaul
 func (v *VR) stashDivergent(pc int, other []bool) bool {
 	if !v.cfg.Reconverge || len(v.diverge) >= maxDivergeStack {
 		return false

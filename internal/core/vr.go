@@ -144,6 +144,7 @@ func NewVR(cfg VRConfig) *VR {
 // paper's stride detector snoops the dispatch/execute stages).
 func (v *VR) Bind(c *cpu.Core) {
 	c.AttachEngine(v)
+	//vrlint:allow observe -- LoadObserver here is the stride detector's training tap, simulator machinery by design, not a validation observer; it must write prefetcher state
 	c.LoadObserver = func(pc int, addr uint64) { v.strides.Observe(pc, addr) }
 }
 
@@ -364,6 +365,8 @@ func (v *VR) scalarStep(c *cpu.Core, in isa.Instr) {
 
 // vectorize begins a vectorized chain at the striding load `in` sitting at
 // v.stridePC: lanes cover the next VectorLength iterations.
+//
+//vrlint:allow hotalloc -- per-activation lane scratch; pooled by the PR-8 overhaul
 func (v *VR) vectorize(c *cpu.Core, in isa.Instr) int {
 	vl := v.cfg.VectorLength
 	v.vec = true
@@ -450,7 +453,8 @@ func (v *VR) discoverFinalLoad(strideIn isa.Instr) int {
 			continue
 		}
 		tainted := false
-		for _, r := range in.Sources(make([]isa.Reg, 0, 3)) {
+		var srcBuf [3]isa.Reg // stack scratch: Sources appends at most 3 regs
+		for _, r := range in.Sources(srcBuf[:0]) {
 			if taint[r] {
 				tainted = true
 			}
@@ -478,6 +482,8 @@ func (v *VR) discoverFinalLoad(strideIn isa.Instr) int {
 // (waitUntil) until the slowest lane returns — the in-order vector
 // subthread waits for its data, which is exactly what overlaps the lanes'
 // misses.
+//
+//vrlint:allow hotalloc -- per-wave lane value/valid scratch; pooled by the PR-8 overhaul
 func (v *VR) gather(c *cpu.Core, in isa.Instr, addrs []uint64) int {
 	vl := v.cfg.VectorLength
 	vals := make([]uint64, vl)
@@ -512,7 +518,8 @@ func (v *VR) gather(c *cpu.Core, in isa.Instr, addrs []uint64) int {
 
 // anyTaintedSource reports whether in reads a tainted (vectorized) register.
 func (v *VR) anyTaintedSource(in isa.Instr) bool {
-	for _, r := range in.Sources(make([]isa.Reg, 0, 3)) {
+	var srcBuf [3]isa.Reg // stack scratch: Sources appends at most 3 regs
+	for _, r := range in.Sources(srcBuf[:0]) {
 		if v.taint[r] {
 			return true
 		}
@@ -532,6 +539,8 @@ func (v *VR) laneVal(r isa.Reg, i int) (uint64, bool) {
 }
 
 // vecStep executes one instruction across all active lanes.
+//
+//vrlint:allow hotalloc -- per-step lane address/value scratch; pooled by the PR-8 overhaul
 func (v *VR) vecStep(c *cpu.Core, in isa.Instr) int {
 	vl := v.cfg.VectorLength
 	switch {

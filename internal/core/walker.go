@@ -58,8 +58,8 @@ func (w *walker) fetch() isa.Instr { return w.prog.At(w.pc) }
 func (w *walker) srcOK(in isa.Instr) (a, b uint64, ok bool) {
 	a, b = w.regs[in.Src1], w.regs[in.Src2]
 	ok = true
-	srcs := in.Sources(make([]isa.Reg, 0, 3))
-	for _, r := range srcs {
+	var srcBuf [3]isa.Reg // stack scratch: Sources appends at most 3 regs
+	for _, r := range in.Sources(srcBuf[:0]) {
 		if !w.valid[r] {
 			ok = false
 		}

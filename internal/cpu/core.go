@@ -587,6 +587,8 @@ func (c *Core) retire(e *robEntry) {
 
 // dropSlot removes the (unique) slot from a scheduler list; commits always
 // remove the front, so the scan terminates immediately in practice.
+//
+//vrlint:allow hotalloc -- in-place compaction append, never grows the backing array
 func (c *Core) dropSlot(list *[]int, slot int) {
 	l := *list
 	for i, s := range l {
@@ -676,6 +678,8 @@ func (c *Core) issue() {
 // consumed an issue slot. It may squash younger instructions (branch
 // mispredict, memory-ordering violation), invalidating c.iq — the caller
 // detects that via lastSquashSeq.
+//
+//vrlint:allow hotalloc -- scheduler-list appends amortize to ROB-bounded capacity; pooled by the PR-8 overhaul
 func (c *Core) tryIssue(slot int, e *robEntry) bool {
 	switch {
 	case e.in.IsStore():
@@ -895,6 +899,10 @@ func (c *Core) filterLive(list []int) []int {
 
 // ---- dispatch ----
 
+// dispatch moves decoded instructions from the front queue into the ROB
+// and scheduler lists.
+//
+//vrlint:allow hotalloc -- scheduler-list appends amortize to ROB-bounded capacity; pooled by the PR-8 overhaul
 func (c *Core) dispatch() {
 	c.dispatchBlocked = false
 	for n := 0; n < c.cfg.Width; n++ {
@@ -965,6 +973,10 @@ func (c *Core) dispatch() {
 
 // ---- fetch ----
 
+// fetch fills the front queue up to the fetch width, following the
+// predictor through branches.
+//
+//vrlint:allow hotalloc -- front-queue append amortizes to fetch-width capacity; pooled by the PR-8 overhaul
 func (c *Core) fetch() {
 	for n := 0; n < c.cfg.Width; n++ {
 		if c.fetchStopped || len(c.frontQ) >= c.cfg.FetchBufSize {

@@ -335,7 +335,7 @@ func ExpA6LoopBound(opt Options) (*Table, error) {
 		}
 		t.AddRow(w.Name, vrC, boundsC, lanesC, ratioC)
 	}
-	t.Notes = append(t.Notes, "traffic ratio <1 = the extension cut off-chip traffic")
+	t.AddNote("traffic ratio <1 = the extension cut off-chip traffic")
 	return t, nil
 }
 
@@ -439,8 +439,7 @@ func ExpA8Reconverge(opt Options) (*Table, error) {
 		}
 		t.AddRow(w.Name, vrC, stackC, stashC, resumeC)
 	}
-	t.Notes = append(t.Notes,
-		"both arms run with a relaxed delayed-termination bound so chains reach their divergence points")
+	t.AddNote("both arms run with a relaxed delayed-termination bound so chains reach their divergence points")
 	return t, nil
 }
 
@@ -488,6 +487,6 @@ func ExpA9ExtraWork(opt Options) (*Table, error) {
 		}
 		t.AddRow(w.Name, raC, preC, vrC, spC)
 	}
-	t.Notes = append(t.Notes, "vr column counts scalar walker instructions + vector uops + scalar-equivalent gather lanes")
+	t.AddNote("vr column counts scalar walker instructions + vector uops + scalar-equivalent gather lanes")
 	return t, nil
 }

@@ -200,7 +200,7 @@ func ExpT2Graphs(opt Options) (*Table, error) {
 			i++
 		}
 	}
-	t.Notes = append(t.Notes, "paper inputs are 2111M/2147M-edge graphs; these are LLC-exceeding downscales")
+	t.AddNote("paper inputs are 2111M/2147M-edge graphs; these are LLC-exceeding downscales")
 	return t, nil
 }
 
@@ -471,7 +471,7 @@ func ExpF10AccuracyCoverage(opt Options) (*Table, error) {
 		}
 		t.AddRow(w.Name, d(ro.OffChipDemand), d(rv.OffChipDemand), d(rv.OffChipRunahead), f(ratio), pct(cover))
 	}
-	t.Notes = append(t.Notes, "traffic ratio >1 = overfetch; coverage = demand misses eliminated")
+	t.AddNote("traffic ratio >1 = overfetch; coverage = demand misses eliminated")
 	return t, nil
 }
 

@@ -127,10 +127,12 @@ func recordKey(exp string, index int) string { return fmt.Sprintf("%s#%d", exp, 
 // the sweep engine's workers.
 type Journal struct {
 	mu   sync.Mutex
-	path string
-	f    *os.File
-	done map[string]Record
-	werr error // first append failure; journaling stops, simulation continues
+	path string            // immutable after construction; Path() reads it lock-free
+	f    *os.File          // vrlint:guardedby mu
+	done map[string]Record // vrlint:guardedby mu
+	// werr latches the first append failure; journaling stops, simulation
+	// continues. vrlint:guardedby mu
+	werr error
 }
 
 // CreateJournal starts a fresh journal at path, truncating any previous

@@ -134,6 +134,9 @@ type sweep struct {
 	t   *Table
 
 	mu sync.Mutex // serializes Progress callbacks from worker goroutines
+	// progressLines counts the progress callbacks delivered; tests read it
+	// through progressCount to pin the serialization discipline.
+	progressLines int // vrlint:guardedby mu
 
 	shared   *mem.FaultInjector // campaign scope: the one injector
 	faultErr error              // campaign scope: invalid fault config, reported per cell
@@ -385,7 +388,15 @@ func (s *sweep) note(format string, args ...any) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.progressLines++
 	s.opt.Progress(fmt.Sprintf(format, args...))
+}
+
+// progressCount returns how many progress lines the sweep has emitted.
+func (s *sweep) progressCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.progressLines
 }
 
 // buildAll materializes the named workloads, constructing up to

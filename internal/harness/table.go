@@ -13,18 +13,18 @@ type Table struct {
 	ID     string // experiment id, e.g. "F7"
 	Title  string
 	Header []string
-	Rows   [][]string
-	Notes  []string
+	Rows   [][]string // vrlint:guardedby mu
+	Notes  []string   // vrlint:guardedby mu
 	// Errors collects per-cell failures from degrade-gracefully experiment
 	// drivers: each entry is one failed run's *RunError (with its machine
 	// snapshot). Rendered as a trailing summary; a non-empty list makes
 	// vrbench exit non-zero after printing everything.
-	Errors []string `json:",omitempty"`
+	Errors []string `json:",omitempty"` // vrlint:guardedby mu
 	// Cancelled counts cells the campaign was interrupted out of running
 	// (including cells skipped because a dependency was cancelled). A
 	// nonzero count renders a trailing CANCELLED summary and makes
 	// vrbench exit with the interrupt status.
-	Cancelled int `json:",omitempty"`
+	Cancelled int `json:",omitempty"` // vrlint:guardedby mu
 
 	// mu guards Rows, Notes, Errors and Cancelled so tables tolerate
 	// concurrent appends. The sweep engine nevertheless assembles rows,
@@ -64,8 +64,12 @@ func (t *Table) markCancelled(n int) {
 	t.Cancelled += n
 }
 
-// String renders the table as aligned text.
+// String renders the table as aligned text. It takes the lock: callers
+// render after the sweep completes, but a concurrent AddError from a
+// straggling cell must not tear the summary.
 func (t *Table) String() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "== %s: %s ==\n", t.ID, t.Title)
 	tw := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)

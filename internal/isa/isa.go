@@ -202,6 +202,8 @@ func (in Instr) hasSrc2() bool {
 
 // Sources appends the architectural registers the instruction reads to dst
 // and returns the extended slice. Store-value registers are included.
+//
+//vrlint:allow hotalloc -- appends at most 3 regs, always within caller-provided capacity; never grows
 func (in Instr) Sources(dst []Reg) []Reg {
 	if in.hasSrc1() {
 		dst = append(dst, in.Src1)

@@ -77,13 +77,13 @@ func ALUResult(in Instr, a, b uint64) uint64 {
 		}
 		return uint64(int64(a) % int64(b))
 	case FAdd:
-		return f64op(a, b, func(x, y float64) float64 { return x + y })
+		return f64op(a, b, fadd)
 	case FSub:
-		return f64op(a, b, func(x, y float64) float64 { return x - y })
+		return f64op(a, b, fsub)
 	case FMul:
-		return f64op(a, b, func(x, y float64) float64 { return x * y })
+		return f64op(a, b, fmul)
 	case FDiv:
-		return f64op(a, b, func(x, y float64) float64 { return x / y })
+		return f64op(a, b, fdiv)
 	case FSlt:
 		return boolTo64(math.Float64frombits(a) < math.Float64frombits(b))
 	case ItoF:
@@ -130,3 +130,10 @@ func boolTo64(b bool) uint64 {
 func f64op(a, b uint64, f func(x, y float64) float64) uint64 {
 	return math.Float64bits(f(math.Float64frombits(a), math.Float64frombits(b)))
 }
+
+// Named (rather than literal) so the per-uop ALU path passes static funcs,
+// never closure values.
+func fadd(x, y float64) float64 { return x + y }
+func fsub(x, y float64) float64 { return x - y }
+func fmul(x, y float64) float64 { return x * y }
+func fdiv(x, y float64) float64 { return x / y }

@@ -43,6 +43,8 @@ func (b *Backing) Load(addr uint64) uint64 {
 }
 
 // Store writes the 64-bit word at addr (aligned down).
+//
+//vrlint:allow hotalloc -- sparse page fault-in: one allocation per touched page, amortized over the run
 func (b *Backing) Store(addr, val uint64) {
 	key := addr >> pageShift
 	pg, ok := b.pages[key]

@@ -68,6 +68,21 @@ func (m *MSHRFile) InFlight(cycle uint64) int {
 	return len(m.lines)
 }
 
+// InFlightAt counts the outstanding misses at the given cycle without
+// mutating the file: the count equals what InFlight would return, but no
+// entries are expired and lastCycle does not advance. Observer-side code
+// (the oracle's invariant checks) must use this form — the purity
+// contract forbids it from touching MSHR state.
+func (m *MSHRFile) InFlightAt(cycle uint64) int {
+	n := 0
+	for _, d := range m.done {
+		if d > cycle {
+			n++
+		}
+	}
+	return n
+}
+
 // Acquire allocates an MSHR for a new line miss arriving at cycle. If the
 // file is full the allocation waits for the earliest completion; the
 // returned start is the cycle the miss can actually be issued to the next
@@ -116,6 +131,8 @@ func (m *MSHRFile) TryAcquire(cycle uint64) bool {
 // Complete records that the miss for line, started at start via
 // Acquire/TryAcquire, finishes at done. The (done - start) interval feeds
 // the occupancy integral behind AvgOccupancy.
+//
+//vrlint:allow hotalloc -- entry appends amortize to MSHR capacity; pooled by the PR-8 overhaul
 func (m *MSHRFile) Complete(line, start, done uint64, src PrefetchSource) {
 	m.lines = append(m.lines, line)
 	m.done = append(m.done, done)

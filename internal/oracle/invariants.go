@@ -79,7 +79,7 @@ func (ic *InvariantChecker) Check() error {
 	if err := c.CheckInvariants(); err != nil {
 		return ic.fail(err.Error())
 	}
-	if inflight, capacity := ic.mshr.InFlight(cycle), ic.mshr.Capacity(); inflight > capacity {
+	if inflight, capacity := ic.mshr.InFlightAt(cycle), ic.mshr.Capacity(); inflight > capacity {
 		return ic.fail(fmt.Sprintf("MSHR file leaked: %d in flight, capacity %d", inflight, capacity))
 	}
 	return nil

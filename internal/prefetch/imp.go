@@ -96,6 +96,8 @@ func (p *IMP) OnAccess(h *mem.Hierarchy, ev mem.AccessEvent) {
 }
 
 // learn tests the access against base+(value<<shift) hypotheses.
+//
+//vrlint:allow hotalloc -- hypothesis inserts are bounded by the table size; pooled by the PR-8 overhaul
 func (p *IMP) learn(ev mem.AccessEvent) {
 	pats := p.patterns[p.lastIndex.pc]
 	for _, shift := range candidateShifts {

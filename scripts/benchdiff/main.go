@@ -1,0 +1,254 @@
+// Command benchdiff records and compares the repository's benchmark
+// baselines (the BENCH_PR*.json files at the repo root), guarding the
+// hot path's allocation budget between PRs.
+//
+// Record mode parses `go test -bench -benchmem` output from stdin into a
+// baseline file (median per benchmark when -count ran it repeatedly):
+//
+//	go test -bench=. -benchmem -run='^$' . | go run ./scripts/benchdiff -record BENCH_NOW.json
+//
+// Compare mode diffs two baselines and fails when any benchmark's
+// allocs/op regressed by more than -threshold percent (allocation count
+// is the stable metric on shared CI hardware; ns/op is reported but
+// never gates):
+//
+//	go run ./scripts/benchdiff -old BENCH_PR7.json -new BENCH_NOW.json -threshold 25
+//
+// Only the standard library is used.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one benchmark's recorded result, matching the schema of
+// the existing BENCH_PR*.json baselines.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BPerOp      int64   `json:"B_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Baseline is one BENCH_PR*.json file.
+type Baseline struct {
+	PR         int         `json:"pr"`
+	Date       string      `json:"date"`
+	Go         string      `json:"go"`
+	CPU        string      `json:"cpu"`
+	Benchtime  string      `json:"benchtime"`
+	Note       string      `json:"note"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		record    = flag.String("record", "", "parse `go test -bench` output on stdin and write a baseline JSON file")
+		oldFile   = flag.String("old", "", "baseline to compare against")
+		newFile   = flag.String("new", "", "candidate baseline")
+		threshold = flag.Float64("threshold", 25, "max tolerated allocs/op regression, percent")
+		pr        = flag.Int("pr", 0, "PR number stamped into a recorded baseline")
+		note      = flag.String("note", "", "note stamped into a recorded baseline")
+	)
+	flag.Parse()
+
+	switch {
+	case *record != "":
+		if err := recordBaseline(*record, *pr, *note); err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(1)
+		}
+	case *oldFile != "" && *newFile != "":
+		regressed, err := compare(*oldFile, *newFile, *threshold)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(1)
+		}
+		if regressed {
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "benchdiff: need either -record FILE, or -old FILE -new FILE")
+		os.Exit(2)
+	}
+}
+
+// recordBaseline parses benchmark output from stdin and writes file.
+func recordBaseline(file string, pr int, note string) error {
+	byName := map[string][]Benchmark{}
+	var order []string
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	cpu := ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			cpu = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case strings.HasPrefix(line, "pkg:"), strings.HasPrefix(line, "goarch:"):
+			continue
+		}
+		b, ok := parseBenchLine(line)
+		if !ok {
+			continue
+		}
+		if _, seen := byName[b.Name]; !seen {
+			order = append(order, b.Name)
+		}
+		byName[b.Name] = append(byName[b.Name], b)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(order) == 0 {
+		return fmt.Errorf("no benchmark lines found on stdin")
+	}
+	base := Baseline{
+		PR:        pr,
+		Date:      time.Now().Format("2006-01-02"),
+		Go:        runtime.Version(),
+		CPU:       cpu,
+		Benchtime: "1x",
+		Note:      note,
+	}
+	for _, name := range order {
+		base.Benchmarks = append(base.Benchmarks, median(byName[name]))
+	}
+	f, err := os.Create(file)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(base); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// parseBenchLine parses one `go test -bench` result line: the name, the
+// iteration count, then value/unit pairs (ns/op, B/op, allocs/op; custom
+// ReportMetric units are ignored).
+func parseBenchLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Benchmark{}, false
+	}
+	name := fields[0]
+	// Strip the -N GOMAXPROCS suffix so names stay stable across hosts.
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: name, Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, unit := fields[i], fields[i+1]
+		switch unit {
+		case "ns/op":
+			b.NsPerOp, _ = strconv.ParseFloat(val, 64)
+		case "B/op":
+			b.BPerOp, _ = strconv.ParseInt(val, 10, 64)
+		case "allocs/op":
+			b.AllocsPerOp, _ = strconv.ParseInt(val, 10, 64)
+		}
+	}
+	return b, true
+}
+
+// median reduces repeated runs of one benchmark (-count N) to the run
+// with the median allocs/op; ties and even counts take the lower middle.
+func median(runs []Benchmark) Benchmark {
+	sort.Slice(runs, func(i, j int) bool { return runs[i].AllocsPerOp < runs[j].AllocsPerOp })
+	return runs[(len(runs)-1)/2]
+}
+
+// compare diffs two baselines, printing a per-benchmark table, and
+// reports whether any allocation regression exceeds the threshold.
+func compare(oldFile, newFile string, threshold float64) (regressed bool, err error) {
+	oldBase, err := readBaseline(oldFile)
+	if err != nil {
+		return false, err
+	}
+	newBase, err := readBaseline(newFile)
+	if err != nil {
+		return false, err
+	}
+	oldBy := map[string]Benchmark{}
+	for _, b := range oldBase.Benchmarks {
+		oldBy[b.Name] = b
+	}
+	fmt.Printf("%-40s %15s %15s %10s\n", "benchmark", "old allocs/op", "new allocs/op", "delta")
+	for _, nb := range newBase.Benchmarks {
+		ob, ok := oldBy[nb.Name]
+		if !ok {
+			fmt.Printf("%-40s %15s %15d %10s\n", nb.Name, "(new)", nb.AllocsPerOp, "-")
+			continue
+		}
+		delete(oldBy, nb.Name)
+		delta := allocDelta(ob.AllocsPerOp, nb.AllocsPerOp)
+		mark := ""
+		if delta > threshold {
+			mark = "  << REGRESSION"
+			regressed = true
+		}
+		fmt.Printf("%-40s %15d %15d %+9.1f%%%s\n", nb.Name, ob.AllocsPerOp, nb.AllocsPerOp, delta, mark)
+	}
+	var gone []string
+	for name := range oldBy {
+		gone = append(gone, name)
+	}
+	sort.Strings(gone)
+	for _, name := range gone {
+		fmt.Printf("%-40s %15d %15s %10s\n", name, oldBy[name].AllocsPerOp, "(gone)", "-")
+	}
+	if regressed {
+		fmt.Printf("\nbenchdiff: allocation regression above %.0f%% against %s\n", threshold, oldFile)
+	} else {
+		fmt.Printf("\nbenchdiff: allocations within %.0f%% of %s\n", threshold, oldFile)
+	}
+	return regressed, nil
+}
+
+// allocDelta returns the percentage change from old to new allocs/op.
+// A zero-alloc baseline treats any new allocation as a 100% regression
+// per allocation (so the threshold still gates it meaningfully).
+func allocDelta(oldN, newN int64) float64 {
+	if oldN == 0 {
+		return float64(newN) * 100
+	}
+	return (float64(newN) - float64(oldN)) / float64(oldN) * 100
+}
+
+func readBaseline(file string) (Baseline, error) {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return Baseline{}, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return Baseline{}, fmt.Errorf("%s: %w", file, err)
+	}
+	if len(b.Benchmarks) == 0 {
+		return Baseline{}, fmt.Errorf("%s: no benchmarks", file)
+	}
+	return b, nil
+}
