@@ -1,25 +1,25 @@
 // Command vrlint is the simulator-invariant multichecker: it runs the
-// ten vrsim-specific static-analysis passes — six per-package (simdet,
-// panicfree, cyclesafe, cfgflow, exhaustive, boundcheck) and four
-// module-scope (statsflow, hotalloc, lockcheck, observe) — over the
-// repository and fails when any invariant is violated. See DESIGN.md
-// "Static invariants" for what each pass encodes and the
-// `//vrlint:allow` suppression syntax.
+// thirteen vrsim-specific static-analysis passes — six per-package
+// (simdet, panicfree, cyclesafe, cfgflow, exhaustive, boundcheck) and
+// seven module-scope (statsflow, hotalloc, lockcheck, observe, bce,
+// devirt, inlinecost) — over the repository and fails when any invariant
+// is violated. See DESIGN.md "Static invariants" for what each pass
+// encodes and the `//vrlint:allow` suppression syntax.
 //
 // Standalone usage (what `make lint` runs):
 //
-//	vrlint [packages...]          # default ./...
-//	vrlint -json [packages...]    # machine-readable findings (incl. suppressed)
-//	vrlint -census FILE [pkgs...] # also write hotalloc's allocation census JSON
-//	vrlint -list                  # describe the passes and exit
+//	vrlint [packages...]           # default ./...
+//	vrlint -json [packages...]     # machine-readable findings (incl. suppressed)
+//	vrlint -census FILE [pkgs...]  # also write hotalloc's allocation census JSON
+//	vrlint -codegen FILE [pkgs...] # also write the bce/devirt/inlinecost codegen budget JSON
+//	vrlint -list                   # describe the passes and exit
 //
 // vrlint also speaks the `go vet -vettool` unit-checker protocol: when
 // invoked by the go command with a *.cfg argument it type-checks the unit
 // from the supplied export data and reports findings for that package
 // alone, so `go vet -vettool=$(which vrlint) ./...` integrates the passes
-// into any vet-based workflow. Module-scope passes (statsflow, hotalloc,
-// lockcheck, observe) need the whole package graph at once and therefore
-// run only in standalone mode.
+// into any vet-based workflow. Module-scope passes need the whole package
+// graph at once and therefore run only in standalone mode.
 package main
 
 import (
@@ -36,11 +36,14 @@ import (
 	"strings"
 
 	"vrsim/internal/analysis"
+	"vrsim/internal/analysis/bce"
 	"vrsim/internal/analysis/boundcheck"
 	"vrsim/internal/analysis/cfgflow"
+	"vrsim/internal/analysis/devirt"
 	"vrsim/internal/analysis/cyclesafe"
 	"vrsim/internal/analysis/exhaustive"
 	"vrsim/internal/analysis/hotalloc"
+	"vrsim/internal/analysis/inlinecost"
 	"vrsim/internal/analysis/lockcheck"
 	"vrsim/internal/analysis/observe"
 	"vrsim/internal/analysis/panicfree"
@@ -49,8 +52,17 @@ import (
 )
 
 // version participates in the go command's content-based caching of vet
-// results; bump it when a pass changes behaviour.
-const version = "vrlint version 3.0.0"
+// results; bump it when a pass changes behaviour. The numeric part is
+// also echoed in `-json` output so downstream tooling can detect schema
+// drift.
+const version = "vrlint version 4.0.0"
+
+// schemas of the machine-readable artifacts vrlint emits; bump alongside
+// any field change so baseline diffs fail loudly instead of silently.
+const (
+	censusSchema  = "vrsim-hotalloc-census/v1"
+	codegenSchema = "vrsim-codegen-budget/v1"
+)
 
 // analyzers is the multichecker's per-package pass set.
 var analyzers = []*analysis.Analyzer{
@@ -68,6 +80,9 @@ var moduleAnalyzers = []*analysis.ModuleAnalyzer{
 	hotalloc.Analyzer,
 	lockcheck.Analyzer,
 	observe.Analyzer,
+	bce.Analyzer,
+	devirt.Analyzer,
+	inlinecost.Analyzer,
 }
 
 func main() {
@@ -77,6 +92,7 @@ func main() {
 		list         = flag.Bool("list", false, "describe the passes and exit")
 		jsonOut      = flag.Bool("json", false, "emit findings as JSON, including suppressed ones")
 		censusFile   = flag.String("census", "", "write hotalloc's steady-state allocation census to this JSON file")
+		codegenFile  = flag.String("codegen", "", "write the bce/devirt/inlinecost codegen budget to this JSON file")
 	)
 	flag.Parse()
 
@@ -101,7 +117,13 @@ func main() {
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
 		os.Exit(vetUnit(args[0]))
 	}
-	os.Exit(standalone(args, *jsonOut, *censusFile))
+	os.Exit(standalone(args, *jsonOut, *censusFile, *codegenFile))
+}
+
+// censusArtifact is the envelope of the `-census` JSON artifact.
+type censusArtifact struct {
+	Schema string          `json:"schema"`
+	Sites  []hotalloc.Site `json:"sites"`
 }
 
 // writeCensus emits hotalloc's allocation census — every steady-state
@@ -113,13 +135,62 @@ func writeCensus(pkgs []*analysis.Package, file string) error {
 	if err != nil {
 		return err
 	}
+	if sites == nil {
+		sites = []hotalloc.Site{}
+	}
+	return writeJSON(file, censusArtifact{Schema: censusSchema, Sites: sites})
+}
+
+// codegenArtifact is the envelope of the `-codegen` JSON artifact: the
+// merged bce/devirt/inlinecost budget, the sibling of the census.
+type codegenArtifact struct {
+	Schema  string                  `json:"schema"`
+	Entries []analysis.CodegenEntry `json:"entries"`
+}
+
+// writeCodegen emits the codegen-quality budget: every surviving bounds
+// check, interface dispatch and uninlinable function in the
+// cycle-reachable closure. Cross-validation mismatches (a compiler
+// record the AST model cannot anchor, or a reachable declaration with no
+// inline verdict) are hard errors — a drifted budget is worse than none.
+func writeCodegen(pkgs []*analysis.Package, file string) error {
+	bceRes, bceEntries, err := bce.Budget(pkgs)
+	if err != nil {
+		return fmt.Errorf("bce: %w", err)
+	}
+	if len(bceRes.Mismatches) > 0 {
+		m := bceRes.Mismatches[0]
+		return fmt.Errorf("bce: %d unanchored check_bce record(s), first at %s:%d:%d: %s",
+			len(bceRes.Mismatches), m.File, m.Line, m.Col, m.Message)
+	}
+	_, devirtEntries, err := devirt.Budget(pkgs)
+	if err != nil {
+		return fmt.Errorf("devirt: %w", err)
+	}
+	inlRes, inlEntries, err := inlinecost.Budget(pkgs)
+	if err != nil {
+		return fmt.Errorf("inlinecost: %w", err)
+	}
+	if len(inlRes.Mismatches) > 0 {
+		return fmt.Errorf("inlinecost: no inline verdict for reachable %s", strings.Join(inlRes.Mismatches, ", "))
+	}
+	entries := make([]analysis.CodegenEntry, 0, len(bceEntries)+len(devirtEntries)+len(inlEntries))
+	entries = append(entries, bceEntries...)
+	entries = append(entries, devirtEntries...)
+	entries = append(entries, inlEntries...)
+	analysis.SortCodegenEntries(entries)
+	return writeJSON(file, codegenArtifact{Schema: codegenSchema, Entries: entries})
+}
+
+// writeJSON writes one indented JSON artifact.
+func writeJSON(file string, v any) error {
 	f, err := os.Create(file)
 	if err != nil {
 		return err
 	}
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(sites); err != nil {
+	if err := enc.Encode(v); err != nil {
 		f.Close()
 		return err
 	}
@@ -136,10 +207,22 @@ type jsonDiag struct {
 	Suppressed bool   `json:"suppressed"`
 }
 
+// jsonReport is the `vrlint -json` envelope; Version lets downstream
+// tooling detect pass-set or schema drift.
+type jsonReport struct {
+	Version  string     `json:"version"`
+	Findings []jsonDiag `json:"findings"`
+}
+
+// jsonVersion is the bare numeric version echoed in -json output.
+func jsonVersion() string {
+	return strings.TrimPrefix(version, "vrlint version ")
+}
+
 // standalone loads the requested packages with the go list driver and
 // applies every pass, honoring each analyzer's Scope. Module-scope
 // analyzers run once over the full package set.
-func standalone(patterns []string, jsonOut bool, censusFile string) int {
+func standalone(patterns []string, jsonOut bool, censusFile, codegenFile string) int {
 	pkgs, err := analysis.Load("", patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vrlint:", err)
@@ -148,6 +231,12 @@ func standalone(patterns []string, jsonOut bool, censusFile string) int {
 	if censusFile != "" {
 		if err := writeCensus(pkgs, censusFile); err != nil {
 			fmt.Fprintln(os.Stderr, "vrlint: census:", err)
+			return 1
+		}
+	}
+	if codegenFile != "" {
+		if err := writeCodegen(pkgs, codegenFile); err != nil {
+			fmt.Fprintln(os.Stderr, "vrlint: codegen:", err)
 			return 1
 		}
 	}
@@ -181,9 +270,9 @@ func standalone(patterns []string, jsonOut bool, censusFile string) int {
 		}
 	}
 	if jsonOut {
-		out := make([]jsonDiag, 0, len(all))
+		out := jsonReport{Version: jsonVersion(), Findings: make([]jsonDiag, 0, len(all))}
 		for _, d := range all {
-			out = append(out, jsonDiag{
+			out.Findings = append(out.Findings, jsonDiag{
 				File:       d.Position.Filename,
 				Line:       d.Position.Line,
 				Col:        d.Position.Column,

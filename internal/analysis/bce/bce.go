@@ -1,0 +1,457 @@
+// Package bce implements the bounds-check budget pass: the codegen gate
+// for ROADMAP item 1's cycle-core overhaul.
+//
+// The pass computes the same cycle-reachable closure hotalloc uses
+// (rooted at cpu.Core.Run / RunChecked and every engine's per-cycle
+// methods) and classifies every slice/array index and slice expression
+// inside it:
+//
+//   - elided: the compiler's bounds-check-elimination already removed
+//     the runtime check (`go tool compile -d=ssa/check_bce` prints
+//     nothing at the site) — not budgeted;
+//   - checked: a runtime IsInBounds / IsSliceInBounds survives — budgeted
+//     in the `vrlint -codegen` artifact, gated by the committed baseline;
+//   - provable: a check survives even though the index is provably
+//     in-bounds from facts the compiler cannot see — the Validate()-proven
+//     field intervals the boundcheck pass mines (boundcheck.FieldFacts)
+//     and constant masks against constant-size arrays. These are the
+//     actionable sites and the only ones that produce lint diagnostics.
+//
+// Each check_bce record is anchored to the AST by the exact position of
+// the index/slice expression's `[` token; a record inside a scanned body
+// that matches no such token is a cross-validation mismatch, surfaced
+// through Mismatches and asserted empty by the module-mode tests.
+package bce
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"vrsim/internal/analysis"
+	"vrsim/internal/analysis/boundcheck"
+)
+
+// CompilerDiags gates the `-d=ssa/check_bce` ingestion. The golden suite
+// disables it: testdata fixtures live outside any module, so every index
+// site is conservatively treated as checked and the AST-level prover
+// alone must classify the seeded violations.
+var CompilerDiags = true
+
+var Analyzer = &analysis.ModuleAnalyzer{
+	Name: "bce",
+	Doc:  "flag provably-redundant bounds checks surviving in the cycle-reachable closure",
+	Run:  run,
+}
+
+func run(pass *analysis.ModulePass) error {
+	res, err := analyze(pass.Pkgs)
+	if err != nil {
+		return err
+	}
+	for _, s := range res.sites {
+		if s.provable && !s.exempt {
+			pass.Reportf(s.pos, "%s", s.message)
+		}
+	}
+	return nil
+}
+
+// A Site is one budgeted bounds-check site in the cycle-reachable
+// closure.
+type Site struct {
+	File    string // absolute path
+	Line    int
+	Col     int
+	Func    string
+	Kind    string // "provable" or "checked"
+	Check   string // "IsInBounds" or "IsSliceInBounds"
+	Message string
+}
+
+// A Mismatch is one check_bce record inside a scanned function body that
+// anchored to no index or slice expression — a drift between the
+// compiler's output format and the pass's AST model.
+type Mismatch struct {
+	File    string
+	Line    int
+	Col     int
+	Message string
+}
+
+// Result is the full bce inventory of one analysis run.
+type Result struct {
+	Sites []Site
+	// Mismatches is non-empty when compiler records failed to anchor;
+	// the module-mode tests assert it empty.
+	Mismatches []Mismatch
+}
+
+// Budget returns every surviving bounds check in the closure as codegen
+// budget rows, with suppression state resolved, plus the
+// cross-validation mismatches.
+func Budget(pkgs []*analysis.Package) (*Result, []analysis.CodegenEntry, error) {
+	res, err := analyze(pkgs)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(pkgs) == 0 {
+		return &Result{}, nil, nil
+	}
+	fset := pkgs[0].Fset
+	var files []*ast.File
+	for _, pkg := range pkgs {
+		files = append(files, pkg.Files...)
+	}
+	root := analysis.ModuleRoot(pkgs)
+	out := &Result{Mismatches: res.mismatches}
+	var entries []analysis.CodegenEntry
+	for i := range res.sites {
+		s := &res.sites[i]
+		p := fset.Position(s.pos)
+		out.Sites = append(out.Sites, Site{
+			File: p.Filename, Line: p.Line, Col: p.Column,
+			Func: s.fn, Kind: s.kind(), Check: s.check, Message: s.message,
+		})
+		reason, covered := analysis.Justification(fset, files, Analyzer.Name, s.pos)
+		entries = append(entries, analysis.CodegenEntry{
+			File: analysis.RelPath(root, p.Filename), Line: p.Line, Col: p.Column,
+			Func: s.fn, Pass: Analyzer.Name, Kind: s.kind(), Detail: s.detail,
+			Suppressed: covered, Justification: reason,
+		})
+	}
+	analysis.SortCodegenEntries(entries)
+	return out, entries, nil
+}
+
+// site is one index/slice expression with a surviving check, before
+// rendering.
+type site struct {
+	pos      token.Pos
+	fn       string
+	check    string // IsInBounds | IsSliceInBounds
+	detail   string
+	message  string
+	provable bool
+	inlined  bool
+	exempt   bool
+}
+
+// kind renders the budget classification of one site.
+func (s *site) kind() string {
+	switch {
+	case s.provable:
+		return "provable"
+	case s.inlined:
+		return "inlined"
+	default:
+		return "checked"
+	}
+}
+
+type result struct {
+	sites      []site
+	mismatches []Mismatch
+}
+
+// anchor is one AST position a compiler record can attach to: the `[`
+// of an index/slice expression, or the `(` of a call whose inlined
+// callee carried the check.
+type anchor struct {
+	n   *analysis.FuncNode
+	fn  string
+	pos token.Pos
+	// at is the expression's own start — `pos` (a `[` or `(` token)
+	// begins no AST node, so context classification anchors here.
+	at       token.Pos
+	kind     string // "index", "slice", "call"
+	operand  string // slice | array | string ("" for calls)
+	detail   string
+	provable bool
+}
+
+func analyze(pkgs []*analysis.Package) (*result, error) {
+	g := analysis.BuildCallGraph(pkgs)
+	roots := analysis.CycleRoots(g)
+	if len(roots) == 0 {
+		return &result{}, nil
+	}
+	reach := g.Reachable(roots)
+
+	// Validate()-proven field intervals across the module; keys are
+	// package-path qualified so merging cannot collide.
+	facts := map[string]map[string]boundcheck.Interval{}
+	for _, pkg := range pkgs {
+		for tk, fields := range boundcheck.FieldFacts(pkg) {
+			facts[tk] = fields
+		}
+	}
+
+	var checks *analysis.CompileDiagIndex
+	if CompilerDiags && len(pkgs) > 0 {
+		paths := make([]string, 0, len(pkgs))
+		for _, p := range pkgs {
+			paths = append(paths, p.PkgPath)
+		}
+		ix, err := analysis.LoadBoundsChecks(pkgs[0].Dir, paths)
+		if err == nil {
+			checks = ix
+		}
+	}
+
+	res := &result{}
+	// Every position the AST walk can anchor a compiler record to.
+	anchors := map[string]*anchor{}
+	type scanned struct {
+		file       string
+		start, end int
+	}
+	var bodies []scanned
+
+	for _, key := range g.SortedKeys() {
+		if !reach[key] {
+			continue
+		}
+		n := g.Funcs[key]
+		if n.Body == nil {
+			continue
+		}
+		fset := n.Pkg.Fset
+		info := n.Pkg.Info
+		fname := n.Name()
+		start := fset.Position(n.Body.Pos())
+		end := fset.Position(n.Body.End())
+		bodies = append(bodies, scanned{start.Filename, start.Line, end.Line})
+
+		ast.Inspect(n.Body, func(m ast.Node) bool {
+			if lit, ok := m.(*ast.FuncLit); ok && lit.Body != n.Body {
+				return false // scanned under its own key
+			}
+			var a *anchor
+			switch m := m.(type) {
+			case *ast.IndexExpr:
+				kind, length := indexable(info, m.X)
+				if kind == "" {
+					return true // map index or generic instantiation
+				}
+				a = &anchor{n: n, fn: fname, pos: m.Lbrack, at: m.Pos(), kind: "index", operand: kind}
+				lo, hi, known := indexInterval(n.Pkg, facts, m.Index)
+				a.detail = "index into " + kind
+				if known {
+					a.detail += fmt.Sprintf(", index in [%d,%d]", lo, hi)
+					if length >= 0 && lo >= 0 && hi < length {
+						a.provable = true
+						a.detail += fmt.Sprintf(", array length %d", length)
+					}
+				}
+			case *ast.SliceExpr:
+				kind, _ := indexable(info, m.X)
+				if kind == "" {
+					return true
+				}
+				a = &anchor{n: n, fn: fname, pos: m.Lbrack, at: m.Pos(), kind: "slice", operand: kind,
+					detail: "slice of " + kind}
+			case *ast.CallExpr:
+				// Inlining re-attributes a callee's surviving checks to
+				// the call's `(` position.
+				a = &anchor{n: n, fn: fname, pos: m.Lparen, at: m.Pos(), kind: "call",
+					detail: "via inlined callee"}
+			default:
+				return true
+			}
+			p := fset.Position(a.pos)
+			// Index/slice anchors win over a call anchor at the same
+			// position (f(x)[i] shapes); first index anchor wins ties.
+			if prev, ok := anchors[posKey(p)]; !ok || (prev.kind == "call" && a.kind != "call") {
+				anchors[posKey(p)] = a
+			}
+			return true
+		})
+	}
+
+	if checks == nil {
+		// AST-only mode (golden fixtures): every index/slice site is
+		// conservatively a surviving check; the prover classifies.
+		for _, a := range anchors {
+			if a.kind == "call" {
+				continue
+			}
+			res.addSite(a, checkName(a.kind))
+		}
+	} else {
+		// Module mode: one site per compiler record, anchored to the AST.
+		seen := map[string]bool{}
+		for _, b := range bodies {
+			for _, d := range checks.InRange(b.file, b.start, b.end) {
+				k := fmt.Sprintf("%s:%d:%d:%s", d.File, d.Line, d.Col, d.Message)
+				if seen[k] {
+					continue // nested literal ranges overlap their container
+				}
+				seen[k] = true
+				p := token.Position{Filename: d.File, Line: d.Line, Column: d.Col}
+				a, ok := anchors[posKey(p)]
+				if !ok {
+					res.mismatches = append(res.mismatches, Mismatch{
+						File: d.File, Line: d.Line, Col: d.Col, Message: d.Message,
+					})
+					continue
+				}
+				res.addSite(a, strings.TrimPrefix(d.Message, "Found "))
+			}
+		}
+		sort.Slice(res.mismatches, func(i, j int) bool {
+			a, b := res.mismatches[i], res.mismatches[j]
+			if a.File != b.File {
+				return a.File < b.File
+			}
+			if a.Line != b.Line {
+				return a.Line < b.Line
+			}
+			return a.Col < b.Col
+		})
+	}
+	sort.Slice(res.sites, func(i, j int) bool {
+		if res.sites[i].pos != res.sites[j].pos {
+			return res.sites[i].pos < res.sites[j].pos
+		}
+		return res.sites[i].check < res.sites[j].check
+	})
+	return res, nil
+}
+
+// addSite renders one anchored surviving check into the result.
+func (res *result) addSite(a *anchor, check string) {
+	s := site{
+		pos:      a.pos,
+		fn:       a.fn,
+		check:    check,
+		detail:   "Found " + check + ": " + a.detail,
+		provable: a.provable && check == "IsInBounds",
+		inlined:  a.kind == "call",
+	}
+	if s.provable {
+		s.message = fmt.Sprintf("bounds check provably redundant (%s) in cycle-reachable %s", a.detail, a.fn)
+		_, onErr, ok := analysis.SiteContext(a.n, a.at)
+		s.exempt = ok && onErr
+	}
+	res.sites = append(res.sites, s)
+}
+
+func checkName(kind string) string {
+	if kind == "slice" {
+		return "IsSliceInBounds"
+	}
+	return "IsInBounds"
+}
+
+func posKey(p token.Position) string {
+	return fmt.Sprintf("%s:%d:%d", p.Filename, p.Line, p.Column)
+}
+
+// indexable classifies the operand of an index/slice expression:
+// "slice", "array" (with its length), "string", or "" for map indexing,
+// generic instantiations and type operands.
+func indexable(info *types.Info, x ast.Expr) (string, int64) {
+	tv, ok := info.Types[x]
+	if !ok || !tv.IsValue() {
+		return "", -1
+	}
+	switch u := tv.Type.Underlying().(type) {
+	case *types.Slice:
+		return "slice", -1
+	case *types.Array:
+		return "array", u.Len()
+	case *types.Pointer:
+		if a, ok := u.Elem().Underlying().(*types.Array); ok {
+			return "array", a.Len()
+		}
+	case *types.Basic:
+		if u.Info()&types.IsString != 0 {
+			return "string", -1
+		}
+	}
+	return "", -1
+}
+
+// indexInterval bounds an index expression using only facts the compiler
+// cannot (or may not) see: Validate()-proven field intervals, constant
+// masks, and unsigned modulo. Constants are included so AST-only fixture
+// runs can prove constant indices too.
+func indexInterval(pkg *analysis.Package, facts map[string]map[string]boundcheck.Interval, e ast.Expr) (lo, hi int64, ok bool) {
+	e = ast.Unparen(e)
+	if tv, okc := pkg.Info.Types[e]; okc && tv.Value != nil {
+		if v, exact := constInt(tv); exact {
+			return v, v, true
+		}
+	}
+	switch e := e.(type) {
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.AND:
+			// x & m with m a non-negative constant: result in [0, m].
+			if m, okc := constOperand(pkg, e); okc && m >= 0 {
+				return 0, m, true
+			}
+		case token.REM:
+			// x % m with constant m > 0 and unsigned x: result in [0, m-1].
+			if m, okc := constIntExpr(pkg, e.Y); okc && m > 0 && isUnsigned(pkg, e.X) {
+				return 0, m - 1, true
+			}
+		}
+	case *ast.SelectorExpr:
+		s, oks := pkg.Info.Selections[e]
+		if !oks || s.Kind() != types.FieldVal {
+			return 0, 0, false
+		}
+		tk := analysis.TypeKey(s.Recv())
+		if tk == "" {
+			return 0, 0, false
+		}
+		iv, okf := facts[tk][e.Sel.Name]
+		if okf && iv.Bounded() {
+			return iv.Lo, iv.Hi, true
+		}
+	}
+	return 0, 0, false
+}
+
+// constOperand returns the constant side of a binary expression with one
+// constant operand.
+func constOperand(pkg *analysis.Package, e *ast.BinaryExpr) (int64, bool) {
+	if v, ok := constIntExpr(pkg, e.X); ok {
+		return v, true
+	}
+	return constIntExpr(pkg, e.Y)
+}
+
+func constIntExpr(pkg *analysis.Package, e ast.Expr) (int64, bool) {
+	tv, ok := pkg.Info.Types[ast.Unparen(e)]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	return constInt(tv)
+}
+
+func constInt(tv types.TypeAndValue) (int64, bool) {
+	if tv.Value == nil {
+		return 0, false
+	}
+	v := constant.ToInt(tv.Value)
+	if v.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(v)
+}
+
+func isUnsigned(pkg *analysis.Package, e ast.Expr) bool {
+	t := pkg.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsUnsigned != 0
+}

@@ -1,0 +1,58 @@
+package bce
+
+import (
+	"strings"
+	"testing"
+
+	"vrsim/internal/analysis/analysistest"
+)
+
+func TestGolden(t *testing.T) {
+	defer func(old bool) { CompilerDiags = old }(CompilerDiags)
+	CompilerDiags = false // testdata lives outside any module; AST-only
+	analysistest.RunModule(t, Analyzer,
+		"vrsim/internal/cpu",
+		"vrsim/internal/core",
+	)
+}
+
+// TestBudget checks the codegen budget rows: the justified site reaches
+// the budget suppressed with its reason, the error-path site is budgeted
+// but produced no diagnostic, and the prover classified every site.
+func TestBudget(t *testing.T) {
+	defer func(old bool) { CompilerDiags = old }(CompilerDiags)
+	CompilerDiags = false
+	pkgs := analysistest.LoadPackages(t, "testdata/src",
+		"vrsim/internal/cpu", "vrsim/internal/core")
+	res, entries, err := Budget(pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Mismatches) != 0 {
+		t.Errorf("AST-only run produced mismatches: %v", res.Mismatches)
+	}
+	// 7 index sites in the closure: 6 provable (3 diagnosed in step, 1 in
+	// lane, 1 justified in Tick, 1 exempt on RunChecked's error path) and
+	// the unprovable c.iq[0].
+	if len(entries) != 7 {
+		t.Fatalf("budget rows = %d, want 7: %+v", len(entries), entries)
+	}
+	var provable, suppressed int
+	for _, e := range entries {
+		if e.Kind == "provable" {
+			provable++
+		}
+		if e.Suppressed {
+			suppressed++
+			if !strings.Contains(e.Justification, "PR-8") {
+				t.Errorf("justification not carried into budget: %q", e.Justification)
+			}
+		}
+	}
+	if provable != 6 {
+		t.Errorf("provable rows = %d, want 6", provable)
+	}
+	if suppressed != 1 {
+		t.Errorf("suppressed rows = %d, want 1", suppressed)
+	}
+}

@@ -1,0 +1,43 @@
+package bce
+
+import (
+	"path/filepath"
+	"testing"
+
+	"vrsim/internal/analysis"
+)
+
+// TestModuleCrossValidation runs the pass in full compiler-backed mode
+// over the real module: every check_bce record inside the
+// cycle-reachable closure must anchor to an index or slice expression
+// (or an inlined-callee call site). A mismatch means the compiler's
+// output format and the pass's AST model have drifted.
+func TestModuleCrossValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the whole module")
+	}
+	pkgs, err := analysis.Load("", "vrsim/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, entries, err := Budget(pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range res.Mismatches {
+		t.Errorf("unanchored check_bce record: %s:%d:%d %s", m.File, m.Line, m.Col, m.Message)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no surviving bounds checks budgeted; compiler diagnostics were not ingested")
+	}
+	for _, e := range entries {
+		if filepath.IsAbs(e.File) {
+			t.Errorf("budget row path not module-relative: %s", e.File)
+		}
+		switch e.Kind {
+		case "provable", "checked", "inlined":
+		default:
+			t.Errorf("unexpected budget kind %q at %s:%d", e.Kind, e.File, e.Line)
+		}
+	}
+}

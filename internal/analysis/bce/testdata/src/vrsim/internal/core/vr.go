@@ -1,0 +1,52 @@
+// Stub of a runahead engine for the bce golden: its per-cycle methods
+// are closure roots of their own, one provable site carries a budget
+// justification, and its config feeds the prover from a second package.
+package core
+
+import (
+	"fmt"
+
+	"vrsim/internal/cpu"
+)
+
+// VRConfig mirrors the engine config with Validate()-proven ranges.
+type VRConfig struct {
+	Lanes int
+}
+
+func engineBound(name string, v, lo, hi int) error {
+	if v < lo || v > hi {
+		return fmt.Errorf("%s %d out of range [%d,%d]", name, v, lo, hi)
+	}
+	return nil
+}
+
+// Validate proves Lanes in [1,7] whenever it returns nil.
+func (c VRConfig) Validate() error {
+	if err := engineBound("Lanes", c.Lanes, 1, 7); err != nil {
+		return err
+	}
+	return nil
+}
+
+// VR is the vector-runahead engine stub.
+type VR struct {
+	cfg    VRConfig
+	mask   [8]uint64
+	active bool
+}
+
+// Tick advances the engine one cycle; its provable index is justified
+// rather than fixed, so it reaches the budget suppressed.
+func (v *VR) Tick(c *cpu.Core) {
+	//vrlint:allow bce -- PR-8: mask is sized to the lane bound; recheck in the cycle-core overhaul
+	_ = v.mask[v.cfg.Lanes]
+	v.lane(uint64(v.cfg.Lanes))
+}
+
+// HoldCommit mirrors the real engine's commit gate.
+func (v *VR) HoldCommit() bool { return v.active }
+
+func (v *VR) lane(i uint64) {
+	_ = v.mask[i&7] // want `bounds check provably redundant \(index into array, index in \[0,7\], array length 8\) in cycle-reachable \(core\.VR\)\.lane`
+}

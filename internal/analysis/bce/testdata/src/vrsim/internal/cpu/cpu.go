@@ -1,0 +1,81 @@
+// Stub of the simulator core for the bce golden: the cycle-loop entry
+// points the closure roots at, plus a Validate()-proven config whose
+// field intervals feed the in-bounds prover.
+package cpu
+
+import "fmt"
+
+// Config mirrors the real core config: Validate() proves field ranges
+// the compiler never sees.
+type Config struct {
+	Ways  int
+	Width int
+}
+
+func bound(name string, v, lo, hi int) error {
+	if v < lo || v > hi {
+		return fmt.Errorf("%s %d out of range [%d,%d]", name, v, lo, hi)
+	}
+	return nil
+}
+
+// Validate proves Ways in [1,4] and Width in [1,8] whenever it returns
+// nil.
+func (c Config) Validate() error {
+	if err := bound("Ways", c.Ways, 1, 4); err != nil {
+		return err
+	}
+	if err := bound("Width", c.Width, 1, 8); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Engine mirrors the real per-cycle engine contract.
+type Engine interface {
+	Tick(c *Core)
+	HoldCommit() bool
+}
+
+// Core is the cycle-driven pipeline stub.
+type Core struct {
+	Cfg    Config
+	Cycle  uint64
+	table  [8]int
+	lanes  [16]uint64
+	iq     []int
+	engine Engine
+}
+
+// Run drives the cycle loop.
+func (c *Core) Run(budget uint64) {
+	for c.Cycle = 0; c.Cycle < budget; c.Cycle++ {
+		c.step()
+	}
+}
+
+// RunChecked is Run with a periodic check hook; the provable index on
+// its error path is exempt from diagnosis (still budgeted).
+func (c *Core) RunChecked(budget, every uint64, check func(*Core) error) error {
+	for c.Cycle = 0; c.Cycle < budget; c.Cycle++ {
+		c.step()
+		if every != 0 && c.Cycle%every == 0 {
+			if err := check(c); err != nil {
+				return fmt.Errorf("check at cycle %d (way slot %d): %w", c.Cycle, c.table[c.Cfg.Ways], err) // error path: exempt
+			}
+		}
+	}
+	return nil
+}
+
+func (c *Core) step() {
+	_ = c.table[c.Cfg.Ways] // want `bounds check provably redundant \(index into array, index in \[1,4\], array length 8\) in cycle-reachable \(cpu\.Core\)\.step`
+	_ = c.lanes[c.Cycle&15] // want `bounds check provably redundant \(index into array, index in \[0,15\], array length 16\) in cycle-reachable \(cpu\.Core\)\.step`
+	_ = c.lanes[c.Cycle%16] // want `bounds check provably redundant \(index into array, index in \[0,15\], array length 16\) in cycle-reachable \(cpu\.Core\)\.step`
+	if len(c.iq) > 0 {
+		_ = c.iq[0] // slice length is unknown to the prover: budgeted, no diagnostic
+	}
+	if c.engine != nil {
+		c.engine.Tick(c)
+	}
+}

@@ -1,0 +1,67 @@
+// Exported view of the Validate()-proven field intervals, for the bce
+// pass: the interval engine solves each config type's `Validate() error`
+// body and records the field ranges that hold whenever Validate returns
+// nil. bce uses those ranges to prove indices in-bounds where the
+// compiler — which never sees Validate's postcondition — cannot.
+package boundcheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"vrsim/internal/analysis"
+)
+
+// An Interval is the exported form of one proven field range.
+type Interval struct {
+	Lo, Hi                   int64
+	LoUnbounded, HiUnbounded bool
+	// NonZero records a proven x != 0 side fact.
+	NonZero bool
+}
+
+// Contains reports whether every value of [lo, hi] lies inside the
+// interval.
+func (iv Interval) Contains(lo, hi int64) bool {
+	return (iv.LoUnbounded || lo >= iv.Lo) && (iv.HiUnbounded || hi <= iv.Hi)
+}
+
+// Bounded reports whether both ends of the interval are finite.
+func (iv Interval) Bounded() bool { return !iv.LoUnbounded && !iv.HiUnbounded }
+
+// FieldFacts solves every `Validate() error` method in pkg and returns
+// the proven per-field intervals, keyed by "pkgpath.TypeName" then field
+// name — exactly the facts the boundcheck analyzer itself seeds its
+// intra-procedural pass with.
+func FieldFacts(pkg *analysis.Package) map[string]map[string]Interval {
+	a := &analyzer{
+		info:         pkg.Info,
+		funcs:        map[types.Object]*ast.FuncDecl{},
+		facts:        map[string]map[string]ival{},
+		inlineCache:  map[*ast.CallExpr]map[string]ival{},
+		summaryCache: map[*ast.CallExpr]ival{},
+	}
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj := a.info.Defs[fd.Name]; obj != nil {
+					a.funcs[obj] = fd
+				}
+			}
+		}
+	}
+	a.extractFacts()
+	out := make(map[string]map[string]Interval, len(a.facts))
+	for tk, fields := range a.facts {
+		m := make(map[string]Interval, len(fields))
+		for name, iv := range fields {
+			m[name] = Interval{
+				Lo: iv.lo, Hi: iv.hi,
+				LoUnbounded: iv.loInf, HiUnbounded: iv.hiInf,
+				NonZero: iv.nz,
+			}
+		}
+		out[tk] = m
+	}
+	return out
+}

@@ -227,6 +227,7 @@ func (g *CallGraph) edgesIn(pkg *Package, owner string, body *ast.BlockStmt, fty
 	if body == nil {
 		return
 	}
+	binds := g.collectLocalBinds(pkg, body)
 	var walk func(n ast.Node, owner string, ftype *ast.FuncType)
 	walk = func(n ast.Node, owner string, ftype *ast.FuncType) {
 		ast.Inspect(n, func(m ast.Node) bool {
@@ -238,7 +239,7 @@ func (g *CallGraph) edgesIn(pkg *Package, owner string, body *ast.BlockStmt, fty
 				walk(m, g.litKey(pkg, m), m.Type)
 				return false
 			case *ast.CallExpr:
-				g.callEdges(pkg, owner, ftype, m)
+				g.callEdges(pkg, owner, ftype, binds, m)
 			case *ast.AssignStmt:
 				g.recordFieldAssigns(pkg, m)
 			case *ast.CompositeLit:
@@ -250,8 +251,54 @@ func (g *CallGraph) edgesIn(pkg *Package, owner string, body *ast.BlockStmt, fty
 	walk(body, owner, ftype)
 }
 
+// collectLocalBinds indexes the func values bound to local variables
+// anywhere under body — `f := core.step`, `var f = helper`, later
+// re-assignments — keyed by the variable object so closures referring to
+// an outer binding resolve too. Bound-method values (core.step) key the
+// method itself; the receiver binding is flow-insensitive, like the
+// func-valued-field tracking this mirrors.
+func (g *CallGraph) collectLocalBinds(pkg *Package, body *ast.BlockStmt) map[*types.Var][]string {
+	binds := map[*types.Var][]string{}
+	record := func(id *ast.Ident, rhs ast.Expr) {
+		v, ok := pkg.Info.Defs[id].(*types.Var)
+		if !ok {
+			v, ok = pkg.Info.Uses[id].(*types.Var) // plain re-assignment
+		}
+		if !ok || v == nil {
+			return
+		}
+		if _, ok := v.Type().Underlying().(*types.Signature); !ok {
+			return
+		}
+		if to := g.funcValueKey(pkg, rhs); to != "" {
+			binds[v] = append(binds[v], to)
+		}
+	}
+	ast.Inspect(body, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range m.Lhs {
+				if i >= len(m.Rhs) {
+					break // multi-value RHS carries no direct func values
+				}
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					record(id, m.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range m.Names {
+				if i < len(m.Values) {
+					record(name, m.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	return binds
+}
+
 // callEdges resolves one call expression to edges from owner.
-func (g *CallGraph) callEdges(pkg *Package, owner string, ftype *ast.FuncType, call *ast.CallExpr) {
+func (g *CallGraph) callEdges(pkg *Package, owner string, ftype *ast.FuncType, binds map[*types.Var][]string, call *ast.CallExpr) {
 	// Static callee.
 	if f := FuncObj(pkg.Info, call); f != nil {
 		callee := funcKeyOf(f)
@@ -264,7 +311,7 @@ func (g *CallGraph) callEdges(pkg *Package, owner string, ftype *ast.FuncType, c
 		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
 			if s, ok := pkg.Info.Selections[sel]; ok && s.Kind() == types.MethodVal {
 				if types.IsInterface(s.Recv()) {
-					for _, impl := range g.implementations(s.Recv(), f.Name()) {
+					for _, impl := range g.Implementations(s.Recv(), f.Name()) {
 						g.addEdge(owner, impl)
 					}
 				}
@@ -291,6 +338,11 @@ func (g *CallGraph) callEdges(pkg *Package, owner string, ftype *ast.FuncType, c
 			// encode as a pseudo-edge "owner -> param:<owner>#<i>".
 			if i := paramIndex(pkg, ftype, v); i >= 0 {
 				g.addEdge(owner, fmt.Sprintf("param:%s#%d", owner, i))
+			}
+			// A local binding: f := core.step; f() — every func value
+			// bound to v anywhere in the enclosing declaration.
+			for _, to := range binds[v] {
+				g.addEdge(owner, to)
 			}
 		}
 	}
@@ -416,11 +468,12 @@ func (g *CallGraph) recordCompositeAssigns(pkg *Package, cl *ast.CompositeLit) {
 	}
 }
 
-// implementations returns the keys of every module method named name
+// Implementations returns the keys of every module method named name
 // whose receiver type structurally implements iface (method-name-set
 // inclusion; nominal identity does not survive the per-package type
-// universes).
-func (g *CallGraph) implementations(iface types.Type, name string) []string {
+// universes). The devirt pass uses the cardinality of this set to spot
+// interface call sites with exactly one concrete target.
+func (g *CallGraph) Implementations(iface types.Type, name string) []string {
 	it, ok := iface.Underlying().(*types.Interface)
 	if !ok {
 		return nil
@@ -472,7 +525,7 @@ func (g *CallGraph) CalleeKeys(pkg *Package, call *ast.CallExpr) []string {
 	add(funcKeyOf(f))
 	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
 		if s, ok := pkg.Info.Selections[sel]; ok && s.Kind() == types.MethodVal && types.IsInterface(s.Recv()) {
-			for _, impl := range g.implementations(s.Recv(), f.Name()) {
+			for _, impl := range g.Implementations(s.Recv(), f.Name()) {
 				add(impl)
 			}
 		}

@@ -1,6 +1,11 @@
 package analysis
 
-import "testing"
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
 
 // TestCallGraphOnRepo builds the module call graph over the real cpu and
 // core packages and checks the resolution mechanisms end to end:
@@ -30,6 +35,53 @@ func TestCallGraphOnRepo(t *testing.T) {
 	for key := range reach {
 		if len(key) > 6 && key[:6] == "param:" {
 			t.Errorf("pseudo-node %q leaked into Reachable result", key)
+		}
+	}
+}
+
+// TestCallGraphMethodValues covers bound-method values: a method value
+// bound to a local and called indirectly (f := t.step; f()), one passed
+// as a func-typed parameter (invoke(t.other)), a plain-assignment
+// binding (g = t.viaAssign), and a local binding of an ordinary
+// function (h := helper). All four targets must be reachable from Run.
+func TestCallGraphMethodValues(t *testing.T) {
+	const src = `package p
+
+type T struct{}
+
+func (t *T) step()      {}
+func (t *T) other()     {}
+func (t *T) viaAssign() {}
+func helper()           {}
+
+func invoke(f func()) { f() }
+
+func Run(t *T) {
+	f := t.step
+	f()
+	invoke(t.other)
+	var g func()
+	g = t.viaAssign
+	g()
+	h := helper
+	h()
+}
+`
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	tpkg, info, err := TypeCheck("p", fset, []*ast.File{file}, nil)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	pkg := &Package{PkgPath: "p", Fset: fset, Files: []*ast.File{file}, Types: tpkg, Info: info}
+	g := BuildCallGraph([]*Package{pkg})
+	reach := g.Reachable([]string{"p.Run"})
+	for _, want := range []string{"(p.T).step", "(p.T).other", "(p.T).viaAssign", "p.helper"} {
+		if !reach[want] {
+			t.Errorf("%s not reachable from p.Run", want)
 		}
 	}
 }

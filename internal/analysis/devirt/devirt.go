@@ -1,0 +1,177 @@
+// Package devirt implements the devirtualization-opportunity pass: the
+// dynamic-dispatch budget for ROADMAP item 1's cycle-core overhaul.
+//
+// The pass walks the same cycle-reachable closure hotalloc and bce use
+// and inventories every interface method call inside it. The callee set
+// of each site is resolved with the call graph's structural
+// method-set-inclusion rule (CallGraph.Implementations): a site whose
+// set has exactly one concrete implementation is a devirtualization
+// opportunity — the Go compiler almost never devirtualizes without PGO,
+// so the dispatch, and the inlining it blocks, survive in the generated
+// code even though the program can only ever call one method. Those
+// sole-implementation sites produce lint diagnostics; sites with several
+// implementations are genuine dynamic dispatch and enter the
+// `vrlint -codegen` budget only, gated by the committed baseline.
+package devirt
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"vrsim/internal/analysis"
+)
+
+var Analyzer = &analysis.ModuleAnalyzer{
+	Name: "devirt",
+	Doc:  "flag cycle-reachable interface calls with exactly one concrete implementation",
+	Run:  run,
+}
+
+func run(pass *analysis.ModulePass) error {
+	sites, err := analyze(pass.Pkgs)
+	if err != nil {
+		return err
+	}
+	for _, s := range sites {
+		if len(s.impls) == 1 && !s.exempt {
+			pass.Reportf(s.pos, "%s", s.message)
+		}
+	}
+	return nil
+}
+
+// A Site is one interface dispatch site in the cycle-reachable closure.
+type Site struct {
+	File    string // absolute path
+	Line    int
+	Col     int
+	Func    string
+	Kind    string // "sole-impl" or "dynamic"
+	Method  string // interface method, e.g. "Engine.Tick"
+	Impls   []string
+	Message string
+}
+
+// Budget returns every dispatch site in the closure as codegen budget
+// rows, with suppression state resolved.
+func Budget(pkgs []*analysis.Package) ([]Site, []analysis.CodegenEntry, error) {
+	found, err := analyze(pkgs)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(pkgs) == 0 {
+		return nil, nil, nil
+	}
+	fset := pkgs[0].Fset
+	var files []*ast.File
+	for _, pkg := range pkgs {
+		files = append(files, pkg.Files...)
+	}
+	root := analysis.ModuleRoot(pkgs)
+	var sites []Site
+	var entries []analysis.CodegenEntry
+	for _, s := range found {
+		p := fset.Position(s.pos)
+		kind := "dynamic"
+		if len(s.impls) == 1 {
+			kind = "sole-impl"
+		}
+		sites = append(sites, Site{
+			File: p.Filename, Line: p.Line, Col: p.Column,
+			Func: s.fn, Kind: kind, Method: s.method, Impls: s.impls, Message: s.message,
+		})
+		reason, covered := analysis.Justification(fset, files, Analyzer.Name, s.pos)
+		detail := fmt.Sprintf("%s dispatches to %d implementation(s)", s.method, len(s.impls))
+		if len(s.impls) > 0 {
+			detail += ": " + strings.Join(s.impls, ", ")
+		}
+		entries = append(entries, analysis.CodegenEntry{
+			File: analysis.RelPath(root, p.Filename), Line: p.Line, Col: p.Column,
+			Func: s.fn, Pass: Analyzer.Name, Kind: kind, Detail: detail,
+			Suppressed: covered, Justification: reason,
+		})
+	}
+	analysis.SortCodegenEntries(entries)
+	return sites, entries, nil
+}
+
+// site is one dispatch site before rendering.
+type site struct {
+	pos     token.Pos
+	fn      string
+	method  string
+	impls   []string
+	message string
+	exempt  bool
+}
+
+func analyze(pkgs []*analysis.Package) ([]site, error) {
+	g := analysis.BuildCallGraph(pkgs)
+	roots := analysis.CycleRoots(g)
+	if len(roots) == 0 {
+		return nil, nil
+	}
+	reach := g.Reachable(roots)
+
+	var out []site
+	for _, key := range g.SortedKeys() {
+		if !reach[key] {
+			continue
+		}
+		n := g.Funcs[key]
+		if n.Body == nil {
+			continue
+		}
+		fname := n.Name()
+		info := n.Pkg.Info
+		ast.Inspect(n.Body, func(m ast.Node) bool {
+			if lit, ok := m.(*ast.FuncLit); ok && lit.Body != n.Body {
+				return false // scanned under its own key
+			}
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			s, ok := info.Selections[sel]
+			if !ok || s.Kind() != types.MethodVal || !types.IsInterface(s.Recv()) {
+				return true
+			}
+			impls := g.Implementations(s.Recv(), sel.Sel.Name)
+			method := ifaceName(s.Recv()) + "." + sel.Sel.Name
+			st := site{
+				pos:    sel.Sel.Pos(),
+				fn:     fname,
+				method: method,
+				impls:  impls,
+			}
+			if len(impls) == 1 {
+				st.message = fmt.Sprintf(
+					"interface call %s in cycle-reachable %s resolves to exactly one implementation (%s); devirtualize",
+					method, fname, impls[0])
+				_, onErr, ok := analysis.SiteContext(n, st.pos)
+				st.exempt = ok && onErr
+			}
+			out = append(out, st)
+			return true
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].pos < out[j].pos })
+	return out, nil
+}
+
+// ifaceName renders the interface type compactly: the bare name of a
+// named interface ("Engine"), or the literal type for anonymous ones.
+func ifaceName(t types.Type) string {
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+}

@@ -1,0 +1,58 @@
+package devirt
+
+import (
+	"strings"
+	"testing"
+
+	"vrsim/internal/analysis/analysistest"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.RunModule(t, Analyzer,
+		"vrsim/internal/cpu",
+		"vrsim/internal/core",
+	)
+}
+
+// TestBudget checks the codegen budget rows: every dispatch site in the
+// closure is budgeted, multi-implementation sites as "dynamic", and the
+// justified sole-implementation seam reaches the budget suppressed.
+func TestBudget(t *testing.T) {
+	pkgs := analysistest.LoadPackages(t, "testdata/src",
+		"vrsim/internal/cpu", "vrsim/internal/core")
+	sites, entries, err := Budget(pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// step dispatches Engine.Tick, Engine.HoldCommit, Tracer.Trace and
+	// Sampler.Sample.
+	if len(sites) != 4 {
+		t.Fatalf("dispatch sites = %d, want 4: %+v", len(sites), sites)
+	}
+	var sole, dynamic, suppressed int
+	for _, e := range entries {
+		switch e.Kind {
+		case "sole-impl":
+			sole++
+		case "dynamic":
+			dynamic++
+		}
+		if e.Suppressed {
+			suppressed++
+			if !strings.Contains(e.Justification, "PR-8") {
+				t.Errorf("justification not carried into budget: %q", e.Justification)
+			}
+		}
+	}
+	if sole != 2 || dynamic != 2 {
+		t.Errorf("kinds = %d sole-impl / %d dynamic, want 2/2: %+v", sole, dynamic, entries)
+	}
+	if suppressed != 1 {
+		t.Errorf("suppressed rows = %d, want 1", suppressed)
+	}
+	for _, s := range sites {
+		if s.Method == "Engine.Tick" && len(s.Impls) != 2 {
+			t.Errorf("Engine.Tick impls = %v, want both engines", s.Impls)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package devirt
+
+import (
+	"path/filepath"
+	"testing"
+
+	"vrsim/internal/analysis"
+)
+
+// TestModule inventories the real module's cycle-reachable dispatch
+// sites: the simulator's engine/predictor/prefetcher seams must appear,
+// and every row must classify as sole-impl or dynamic with a
+// module-relative path.
+func TestModule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the whole module")
+	}
+	pkgs, err := analysis.Load("", "vrsim/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sites, entries, err := Budget(pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sites) == 0 {
+		t.Fatal("no interface dispatch sites found in the cycle closure")
+	}
+	for _, e := range entries {
+		if filepath.IsAbs(e.File) {
+			t.Errorf("budget row path not module-relative: %s", e.File)
+		}
+		if e.Kind != "sole-impl" && e.Kind != "dynamic" {
+			t.Errorf("unexpected budget kind %q at %s:%d", e.Kind, e.File, e.Line)
+		}
+	}
+	var engineTick bool
+	for _, s := range sites {
+		if s.Method == "Engine.Tick" {
+			engineTick = true
+			if len(s.Impls) < 2 {
+				t.Errorf("Engine.Tick impls = %v; the simulator ships several engines", s.Impls)
+			}
+		}
+	}
+	if !engineTick {
+		t.Error("Engine.Tick dispatch not inventoried")
+	}
+}

@@ -1,0 +1,36 @@
+// Concrete implementations for the devirt golden: two engines keep
+// Engine dynamic; CycleLog and CycleSampler are the sole
+// implementations of Tracer and Sampler.
+package core
+
+import "vrsim/internal/cpu"
+
+// VR is one of two engines implementing cpu.Engine.
+type VR struct{ active bool }
+
+// Tick advances the vector-runahead engine one cycle.
+func (v *VR) Tick(c *cpu.Core) { v.active = c.Cycle%2 == 0 }
+
+// HoldCommit mirrors the real engine's commit gate.
+func (v *VR) HoldCommit() bool { return v.active }
+
+// RA is the second engine implementing cpu.Engine.
+type RA struct{ depth int }
+
+// Tick advances the scalar-runahead engine one cycle.
+func (r *RA) Tick(c *cpu.Core) { r.depth++ }
+
+// HoldCommit never holds for the scalar engine.
+func (r *RA) HoldCommit() bool { return false }
+
+// CycleLog is the sole implementation of cpu.Tracer.
+type CycleLog struct{ last uint64 }
+
+// Trace records the last traced cycle.
+func (l *CycleLog) Trace(cycle uint64) { l.last = cycle }
+
+// CycleSampler is the sole implementation of cpu.Sampler.
+type CycleSampler struct{ n int }
+
+// Sample counts sampled cycles.
+func (s *CycleSampler) Sample(cycle uint64) { s.n++ }

@@ -1,0 +1,55 @@
+// Stub of the simulator core for the devirt golden: the cycle loop
+// dispatches through one interface with several implementations
+// (genuine dynamic dispatch, budget only), one with exactly one
+// (diagnosed), and one justified seam.
+package cpu
+
+// Engine mirrors the real per-cycle engine contract; two engine types
+// implement it, so its dispatches stay dynamic.
+type Engine interface {
+	Tick(c *Core)
+	HoldCommit() bool
+}
+
+// Tracer has exactly one implementation in the module: its dispatch is
+// a devirtualization opportunity.
+type Tracer interface {
+	Trace(cycle uint64)
+}
+
+// Sampler also has exactly one implementation, but the seam is kept
+// virtual on purpose and carries a budget justification.
+type Sampler interface {
+	Sample(cycle uint64)
+}
+
+// Core is the cycle-driven pipeline stub.
+type Core struct {
+	Cycle   uint64
+	Engine  Engine
+	Tracer  Tracer
+	Sampler Sampler
+}
+
+// Run drives the cycle loop.
+func (c *Core) Run(budget uint64) {
+	for c.Cycle = 0; c.Cycle < budget; c.Cycle++ {
+		c.step()
+	}
+}
+
+func (c *Core) step() {
+	if c.Engine != nil {
+		c.Engine.Tick(c) // several implementations: budget only
+		if c.Engine.HoldCommit() {
+			return
+		}
+	}
+	if c.Tracer != nil {
+		c.Tracer.Trace(c.Cycle) // want `interface call Tracer\.Trace in cycle-reachable \(cpu\.Core\)\.step resolves to exactly one implementation \(\(vrsim/internal/core\.CycleLog\)\.Trace\); devirtualize`
+	}
+	if c.Sampler != nil {
+		//vrlint:allow devirt -- PR-8: sampler seam stays virtual for test doubles
+		c.Sampler.Sample(c.Cycle)
+	}
+}

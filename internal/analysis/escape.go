@@ -1,61 +1,17 @@
-// Compiler escape-analysis ingestion for the hotalloc pass.
-//
-// `go build -gcflags=-m=2` is the obvious way to get escape diagnostics,
-// but its output is suppressed whenever the build cache is warm — a
-// second vrlint run would silently see zero escapes. Instead the loader
-// invokes `go tool compile -m=2` directly, per package, with an importcfg
-// assembled from the same `go list -e -export -json -deps` data the
-// package loader uses. That path is cache-free and deterministic: the
-// compiler always runs, always prints, and only the handful of simulator
-// packages under analysis are recompiled.
-//
-// Results are cached per (dir, package set) for the lifetime of the
-// process, mirroring the export-data loader's in-memory caching.
+// Compiler escape-analysis ingestion for the hotalloc pass, a thin
+// filter over the shared compile-diagnostic runner in compilediag.go
+// (which also feeds the inlinecost pass from the same cached -m=2 run).
 package analysis
 
-import (
-	"bytes"
-	"fmt"
-	"os"
-	"os/exec"
-	"path/filepath"
-	"sort"
-	"strconv"
-	"strings"
-	"sync"
-)
+import "strings"
 
 // An EscapeRecord is one compiler escape diagnostic: a value at a source
 // position that the compiler proved heap-allocated.
-type EscapeRecord struct {
-	File    string // absolute path
-	Line    int
-	Col     int
-	Message string // e.g. "make([]uint64, vl) escapes to heap", "moved to heap: x"
-}
+type EscapeRecord = CompileDiag
 
 // An EscapeIndex holds the escape records of a set of packages, indexed
 // by file for range queries.
-type EscapeIndex struct {
-	byFile map[string][]EscapeRecord // sorted by line, then column
-}
-
-// InRange returns the records in file whose line lies in [startLine,
-// endLine].
-func (ix *EscapeIndex) InRange(file string, startLine, endLine int) []EscapeRecord {
-	if ix == nil {
-		return nil
-	}
-	recs := ix.byFile[file]
-	i := sort.Search(len(recs), func(i int) bool { return recs[i].Line >= startLine })
-	j := sort.Search(len(recs), func(i int) bool { return recs[i].Line > endLine })
-	return recs[i:j]
-}
-
-var escapeCache struct {
-	sync.Mutex
-	m map[string]*EscapeIndex
-}
+type EscapeIndex = CompileDiagIndex
 
 // LoadEscapes runs the compiler's escape analysis over the given package
 // import paths (resolved in dir) and returns the indexed records. Errors
@@ -63,141 +19,28 @@ var escapeCache struct {
 // (the analysistest fixtures, which live outside any module, take that
 // path).
 func LoadEscapes(dir string, pkgPaths []string) (*EscapeIndex, error) {
-	key := dir + "\x00" + strings.Join(pkgPaths, "\x00")
-	escapeCache.Lock()
-	if escapeCache.m == nil {
-		escapeCache.m = map[string]*EscapeIndex{}
-	}
-	if ix, ok := escapeCache.m[key]; ok {
-		escapeCache.Unlock()
-		return ix, nil
-	}
-	escapeCache.Unlock()
-
-	ix, err := loadEscapes(dir, pkgPaths)
+	ix, err := LoadCompileDiags(dir, pkgPaths, "-m=2")
 	if err != nil {
 		return nil, err
 	}
-	escapeCache.Lock()
-	escapeCache.m[key] = ix
-	escapeCache.Unlock()
-	return ix, nil
+	return ix.Filter(func(d CompileDiag) bool { return isEscapeHeadline(d.Message) }), nil
 }
 
-func loadEscapes(dir string, pkgPaths []string) (*EscapeIndex, error) {
-	listed, err := goList(dir, pkgPaths)
-	if err != nil {
-		return nil, err
-	}
-	// importcfg: every dependency's export data, shared by all targets.
-	var cfg bytes.Buffer
-	var targets []*listedPackage
-	byPath := map[string]*listedPackage{}
-	for _, p := range listed {
-		if p.Error != nil && !p.DepOnly {
-			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
-		}
-		byPath[p.ImportPath] = p
-		if p.Export != "" {
-			fmt.Fprintf(&cfg, "packagefile %s=%s\n", p.ImportPath, p.Export)
-		}
-		if !p.DepOnly && !p.Standard {
-			targets = append(targets, p)
-		}
-	}
-	tmp, err := os.MkdirTemp("", "vrlint-escape-")
-	if err != nil {
-		return nil, err
-	}
-	defer os.RemoveAll(tmp)
-	cfgFile := filepath.Join(tmp, "importcfg")
-	if err := os.WriteFile(cfgFile, cfg.Bytes(), 0o644); err != nil {
-		return nil, err
-	}
-
-	ix := &EscapeIndex{byFile: map[string][]EscapeRecord{}}
-	for _, t := range targets {
-		if len(t.GoFiles) == 0 {
-			continue
-		}
-		args := []string{"tool", "compile", "-p", t.ImportPath, "-importcfg", cfgFile,
-			"-o", filepath.Join(tmp, "out.o"), "-m=2"}
-		for _, f := range t.GoFiles {
-			args = append(args, filepath.Join(t.Dir, f))
-		}
-		cmd := exec.Command("go", args...)
-		cmd.Dir = t.Dir
-		var stderr bytes.Buffer
-		cmd.Stderr = &stderr
-		if err := cmd.Run(); err != nil {
-			return nil, fmt.Errorf("go tool compile -m=2 %s: %v\n%s", t.ImportPath, err, stderr.String())
-		}
-		for _, r := range parseEscapeOutput(stderr.Bytes()) {
-			if !filepath.IsAbs(r.File) {
-				r.File = filepath.Join(t.Dir, r.File)
-			}
-			ix.byFile[r.File] = append(ix.byFile[r.File], r)
-		}
-	}
-	for _, recs := range ix.byFile {
-		sort.Slice(recs, func(i, j int) bool {
-			if recs[i].Line != recs[j].Line {
-				return recs[i].Line < recs[j].Line
-			}
-			return recs[i].Col < recs[j].Col
-		})
-	}
-	return ix, nil
+// isEscapeHeadline reports whether a -m=2 headline proves a heap
+// allocation ("escapes to heap" / "moved to heap"); the "does not
+// escape" negatives and inline verdicts are someone else's records.
+func isEscapeHeadline(msg string) bool {
+	return strings.HasSuffix(msg, "escapes to heap") || strings.HasPrefix(msg, "moved to heap")
 }
 
-// parseEscapeOutput extracts the heap-allocation headlines from
-// `-m=2` compiler output, dropping the indented flow-explanation lines
-// and the "does not escape" negatives. Duplicate positions (the verbose
-// form repeats the headline) collapse to one record.
+// parseEscapeOutput extracts the heap-allocation headlines from raw
+// `-m=2` compiler output, for tests driving the parser directly.
 func parseEscapeOutput(out []byte) []EscapeRecord {
 	var recs []EscapeRecord
-	seen := map[string]bool{}
-	for _, line := range strings.Split(string(out), "\n") {
-		file, lineNo, col, msg, ok := splitDiagLine(line)
-		if !ok {
-			continue
+	for _, r := range parseCompileOutput(out) {
+		if isEscapeHeadline(r.Message) {
+			recs = append(recs, r)
 		}
-		if strings.HasPrefix(msg, " ") || strings.HasPrefix(msg, "\t") {
-			continue // flow explanation
-		}
-		msg = strings.TrimSuffix(msg, ":")
-		if !strings.HasSuffix(msg, "escapes to heap") && !strings.HasPrefix(msg, "moved to heap") {
-			continue
-		}
-		key := fmt.Sprintf("%s:%d:%d:%s", file, lineNo, col, msg)
-		if seen[key] {
-			continue
-		}
-		seen[key] = true
-		recs = append(recs, EscapeRecord{File: file, Line: lineNo, Col: col, Message: msg})
 	}
 	return recs
-}
-
-// splitDiagLine parses "file.go:line:col: message". It anchors on the
-// ".go:" boundary so Windows-style or dotted paths cannot confuse the
-// split.
-func splitDiagLine(line string) (file string, lineNo, col int, msg string, ok bool) {
-	i := strings.Index(line, ".go:")
-	if i < 0 {
-		return "", 0, 0, "", false
-	}
-	file = line[:i+3]
-	rest := line[i+4:]
-	parts := strings.SplitN(rest, ":", 3)
-	if len(parts) != 3 {
-		return "", 0, 0, "", false
-	}
-	lineNo, err1 := strconv.Atoi(parts[0])
-	col, err2 := strconv.Atoi(parts[1])
-	if err1 != nil || err2 != nil {
-		return "", 0, 0, "", false
-	}
-	msg = strings.TrimPrefix(parts[2], " ")
-	return file, lineNo, col, msg, true
 }

@@ -29,7 +29,6 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
-	"strings"
 
 	"vrsim/internal/analysis"
 )
@@ -86,12 +85,15 @@ func Census(pkgs []*analysis.Package) ([]Site, error) {
 	for _, pkg := range pkgs {
 		files = append(files, pkg.Files...)
 	}
+	// Census files are module-relative so the committed baseline survives
+	// checkouts at different paths.
+	root := analysis.ModuleRoot(pkgs)
 	out := make([]Site, 0, len(found))
 	for _, s := range found {
 		p := fset.Position(s.pos)
 		reason, covered := analysis.Justification(fset, files, Analyzer.Name, s.pos)
 		out = append(out, Site{
-			File:          p.Filename,
+			File:          analysis.RelPath(root, p.Filename),
 			Line:          p.Line,
 			Col:           p.Column,
 			Func:          s.fn,
@@ -115,7 +117,7 @@ type finding struct {
 // analyze computes the reachable closure and collects allocation sites.
 func analyze(pkgs []*analysis.Package) ([]finding, error) {
 	g := analysis.BuildCallGraph(pkgs)
-	roots := cycleRoots(g)
+	roots := analysis.CycleRoots(g)
 	if len(roots) == 0 {
 		// Partial load (e.g. vrlint on a subset without the simulator
 		// core): nothing to check.
@@ -143,42 +145,6 @@ func analyze(pkgs []*analysis.Package) ([]finding, error) {
 	return out, nil
 }
 
-// cycleRoots returns the entry points of the steady-state cycle loop.
-func cycleRoots(g *analysis.CallGraph) []string {
-	var roots []string
-	for _, key := range g.SortedKeys() {
-		n := g.Funcs[key]
-		if n.Decl == nil || n.Decl.Recv == nil {
-			continue
-		}
-		name := n.Decl.Name.Name
-		switch {
-		case strings.HasSuffix(n.Pkg.PkgPath, "internal/cpu") &&
-			(name == "Run" || name == "RunChecked") && recvTypeName(n.Decl) == "Core":
-			roots = append(roots, key)
-		case strings.HasSuffix(n.Pkg.PkgPath, "internal/core") &&
-			(name == "Tick" || name == "HoldCommit" || name == "Holding"):
-			roots = append(roots, key)
-		}
-	}
-	return roots
-}
-
-// recvTypeName returns the bare receiver type name of a method decl.
-func recvTypeName(fd *ast.FuncDecl) string {
-	if fd.Recv == nil || len(fd.Recv.List) == 0 {
-		return ""
-	}
-	t := fd.Recv.List[0].Type
-	if star, ok := t.(*ast.StarExpr); ok {
-		t = star.X
-	}
-	if id, ok := t.(*ast.Ident); ok {
-		return id.Name
-	}
-	return ""
-}
-
 // loadEscapes best-effort loads compiler escape records for the loaded
 // packages. Failures (no module context, as in the golden suite) degrade
 // to AST-only detection.
@@ -202,7 +168,7 @@ func scanFunc(n *analysis.FuncNode, escapes *analysis.EscapeIndex) []finding {
 	var out []finding
 	info := n.Pkg.Info
 	fset := n.Pkg.Fset
-	isRootDriver := n.Decl != nil && (n.Decl.Name.Name == "Run" || n.Decl.Name.Name == "RunChecked")
+	isRootDriver := analysis.IsCycleRootDriver(n)
 	fname := n.Name()
 
 	// Lines already claimed by an AST site, so compiler escape records for
@@ -258,7 +224,7 @@ func scanFunc(n *analysis.FuncNode, escapes *analysis.EscapeIndex) []finding {
 			if astLines[r.Line] {
 				continue
 			}
-			pos := posAtLine(fset, n.Body, r.Line)
+			pos := analysis.PosAtLine(fset, n.Body, r.Line)
 			if pos == token.NoPos {
 				continue
 			}
@@ -338,119 +304,18 @@ func scanCall(info *types.Info, call *ast.CallExpr, add func(token.Pos, string, 
 func isEllipsisCall(call *ast.CallExpr) bool { return call.Ellipsis.IsValid() }
 
 // exempt applies the one-level dominance exemptions: error-path sites and
-// the init-time prologue of the Run/RunChecked drivers.
+// the init-time prologue of the Run/RunChecked drivers. The path walk
+// itself lives in analysis.SiteContext, shared with the codegen passes.
 func exempt(n *analysis.FuncNode, pos token.Pos, isRootDriver bool) bool {
-	site := nodeAt(n.Body, pos)
-	if site == nil {
+	inLoop, onErrorPath, ok := analysis.SiteContext(n, pos)
+	if !ok {
 		return false
 	}
-	path := analysis.PathTo(n.Body, site)
-	if path == nil {
-		return false
-	}
-	inLoop := false
-	for i := len(path) - 1; i >= 0; i-- {
-		switch p := path[i].(type) {
-		case *ast.ForStmt, *ast.RangeStmt:
-			inLoop = true
-		case *ast.ReturnStmt:
-			// A site inside `return ..., err` where the function's last
-			// result is an error and the returned value is not literal nil.
-			if returnsNonNilError(n, p) {
-				return true
-			}
-		case *ast.CallExpr:
-			if id, ok := ast.Unparen(p.Fun).(*ast.Ident); ok && id.Name == "panic" {
-				if _, isBuiltin := n.Pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
-					return true
-				}
-			}
-		case *ast.BlockStmt:
-			// One-level dominance: the innermost if-branch that terminates
-			// in an error return or panic is an error path.
-			if i > 0 {
-				if _, isIf := path[i-1].(*ast.IfStmt); isIf && terminatesInError(n, p) {
-					return true
-				}
-			}
-		}
+	if onErrorPath {
+		return true
 	}
 	if isRootDriver && !inLoop {
 		return true // init-time prologue of the cycle driver
-	}
-	return false
-}
-
-// posAtLine returns the position of the first node in root starting on
-// the given source line, anchoring compiler escape records to the AST.
-func posAtLine(fset *token.FileSet, root ast.Node, line int) token.Pos {
-	best := token.NoPos
-	ast.Inspect(root, func(m ast.Node) bool {
-		if m == nil {
-			return false
-		}
-		if fset.Position(m.Pos()).Line == line && (best == token.NoPos || m.Pos() < best) {
-			best = m.Pos()
-		}
-		return true
-	})
-	return best
-}
-
-// nodeAt finds the innermost expression or statement starting at pos.
-func nodeAt(root ast.Node, pos token.Pos) ast.Node {
-	var best ast.Node
-	ast.Inspect(root, func(m ast.Node) bool {
-		if m == nil || m.Pos() > pos || m.End() <= pos {
-			return m == root
-		}
-		if m.Pos() == pos {
-			best = m
-		}
-		return true
-	})
-	return best
-}
-
-// returnsNonNilError reports whether ret's last value is a non-nil
-// expression in a function whose final result is an error.
-func returnsNonNilError(n *analysis.FuncNode, ret *ast.ReturnStmt) bool {
-	var results *ast.FieldList
-	if n.Decl != nil {
-		results = n.Decl.Type.Results
-	} else if n.Lit != nil {
-		results = n.Lit.Type.Results
-	}
-	if results == nil || len(results.List) == 0 || len(ret.Results) == 0 {
-		return false
-	}
-	last := results.List[len(results.List)-1]
-	lt := n.Pkg.Info.Types[last.Type].Type
-	if lt == nil || !analysis.IsErrorType(lt) {
-		return false
-	}
-	le := ast.Unparen(ret.Results[len(ret.Results)-1])
-	if id, ok := le.(*ast.Ident); ok && id.Name == "nil" {
-		return false
-	}
-	return true
-}
-
-// terminatesInError reports whether a block's last statement is a non-nil
-// error return or a panic — the shape of a guarded error path.
-func terminatesInError(n *analysis.FuncNode, b *ast.BlockStmt) bool {
-	if len(b.List) == 0 {
-		return false
-	}
-	switch last := b.List[len(b.List)-1].(type) {
-	case *ast.ReturnStmt:
-		return returnsNonNilError(n, last)
-	case *ast.ExprStmt:
-		if call, ok := ast.Unparen(last.X).(*ast.CallExpr); ok {
-			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
-				return true
-			}
-		}
 	}
 	return false
 }

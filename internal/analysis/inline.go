@@ -1,0 +1,108 @@
+// Compiler inline-verdict ingestion for the inlinecost pass: every
+// function the compiler considered gets either a "can inline f with
+// cost C as: ..." or a "cannot inline f: reason" headline under -m=2.
+// The records come from the same cached compile run that feeds
+// hotalloc's escape analysis.
+package analysis
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// An InlineVerdict is the compiler's -m=2 inlinability report for one
+// function declaration.
+type InlineVerdict struct {
+	File string // absolute path
+	Line int
+	Col  int
+	// Name is the function as the compiler prints it: "New",
+	// "(*Core).retire", "Config.Validate".
+	Name      string
+	CanInline bool
+	// Reason is why the function cannot be inlined ("" when it can),
+	// e.g. "function too complex: cost 1563 exceeds budget 80",
+	// "marked go:noinline".
+	Reason string
+	// Cost is the inline cost the compiler reported: the body cost for
+	// inlinable functions, the over-budget cost for "function too
+	// complex" rejections, and -1 when the headline carries no cost.
+	Cost int
+}
+
+// An InlineIndex holds the inline verdicts of a set of packages, keyed
+// by the declaration position the compiler attributed them to (the
+// token after the `func` keyword, so matching is by file and line).
+type InlineIndex struct {
+	byPos map[string][]InlineVerdict // "file:line"
+}
+
+// At returns the verdict attributed to (file, line), if any. Multiple
+// verdicts on one line (one-line function declarations are rare but
+// legal) return the first.
+func (ix *InlineIndex) At(file string, line int) (InlineVerdict, bool) {
+	if ix == nil {
+		return InlineVerdict{}, false
+	}
+	vs := ix.byPos[file+":"+strconv.Itoa(line)]
+	if len(vs) == 0 {
+		return InlineVerdict{}, false
+	}
+	return vs[0], true
+}
+
+// LoadInlineVerdicts runs -m=2 over the given packages (shared cached
+// compile with LoadEscapes) and returns every inline verdict, indexed by
+// declaration position. Errors are soft: callers degrade to AST-only
+// reasoning.
+func LoadInlineVerdicts(dir string, pkgPaths []string) (*InlineIndex, error) {
+	diags, err := LoadCompileDiags(dir, pkgPaths, "-m=2")
+	if err != nil {
+		return nil, err
+	}
+	ix := &InlineIndex{byPos: map[string][]InlineVerdict{}}
+	for _, recs := range diags.byFile {
+		for _, r := range recs {
+			v, ok := parseInlineMessage(r.Message)
+			if !ok {
+				continue
+			}
+			v.File, v.Line, v.Col = r.File, r.Line, r.Col
+			key := v.File + ":" + strconv.Itoa(v.Line)
+			ix.byPos[key] = append(ix.byPos[key], v)
+		}
+	}
+	return ix, nil
+}
+
+var inlineCostRx = regexp.MustCompile(`cost (\d+)`)
+
+// parseInlineMessage classifies one -m=2 headline as an inline verdict.
+func parseInlineMessage(msg string) (InlineVerdict, bool) {
+	if rest, ok := strings.CutPrefix(msg, "can inline "); ok {
+		v := InlineVerdict{CanInline: true, Cost: -1}
+		name, tail, _ := strings.Cut(rest, " with cost ")
+		v.Name = name
+		if n, _, found := strings.Cut(tail, " "); found || tail != "" {
+			if c, err := strconv.Atoi(n); err == nil {
+				v.Cost = c
+			}
+		}
+		return v, true
+	}
+	if rest, ok := strings.CutPrefix(msg, "cannot inline "); ok {
+		name, reason, found := strings.Cut(rest, ": ")
+		if !found {
+			return InlineVerdict{}, false
+		}
+		v := InlineVerdict{Name: name, Reason: reason, Cost: -1}
+		if m := inlineCostRx.FindStringSubmatch(reason); m != nil {
+			if c, err := strconv.Atoi(m[1]); err == nil {
+				v.Cost = c
+			}
+		}
+		return v, true
+	}
+	return InlineVerdict{}, false
+}

@@ -1,0 +1,55 @@
+package inlinecost
+
+import (
+	"strings"
+	"testing"
+
+	"vrsim/internal/analysis/analysistest"
+)
+
+func TestGolden(t *testing.T) {
+	defer func(old bool) { CompilerDiags = old }(CompilerDiags)
+	CompilerDiags = false // testdata lives outside any module; AST-only
+	analysistest.RunModule(t, Analyzer, "vrsim/internal/cpu")
+}
+
+// TestBudget checks the codegen budget rows: structural and too-complex
+// findings are classified, and the justified out-of-line probe reaches
+// the budget suppressed with its reason.
+func TestBudget(t *testing.T) {
+	defer func(old bool) { CompilerDiags = old }(CompilerDiags)
+	CompilerDiags = false
+	pkgs := analysistest.LoadPackages(t, "testdata/src", "vrsim/internal/cpu")
+	res, entries, err := Budget(pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Mismatches) != 0 {
+		t.Errorf("AST-only run produced mismatches: %v", res.Mismatches)
+	}
+	// step (go:noinline), sample (recover), mix (over budget), probe
+	// (justified go:noinline).
+	if len(entries) != 4 {
+		t.Fatalf("budget rows = %d, want 4: %+v", len(entries), entries)
+	}
+	kinds := map[string]int{}
+	var suppressed int
+	for _, e := range entries {
+		kinds[e.Kind]++
+		if e.Suppressed {
+			suppressed++
+			if !strings.Contains(e.Justification, "PR-8") {
+				t.Errorf("justification not carried into budget: %q", e.Justification)
+			}
+			if e.Kind != "structural" {
+				t.Errorf("suppressed row kind = %q, want structural", e.Kind)
+			}
+		}
+	}
+	if kinds["structural"] != 3 || kinds["too-complex"] != 1 {
+		t.Errorf("kinds = %v, want 3 structural / 1 too-complex", kinds)
+	}
+	if suppressed != 1 {
+		t.Errorf("suppressed rows = %d, want 1", suppressed)
+	}
+}

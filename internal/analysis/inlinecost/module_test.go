@@ -1,0 +1,40 @@
+package inlinecost
+
+import (
+	"path/filepath"
+	"testing"
+
+	"vrsim/internal/analysis"
+)
+
+// TestModuleCrossValidation runs the pass in full compiler-backed mode
+// over the real module: every reachable declaration must carry a -m=2
+// inline verdict. A missing verdict means the compiler's output format
+// and the pass's position model have drifted.
+func TestModuleCrossValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the whole module")
+	}
+	pkgs, err := analysis.Load("", "vrsim/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, entries, err := Budget(pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range res.Mismatches {
+		t.Errorf("reachable declaration with no inline verdict: %s", m)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no uninlinable closure functions budgeted; -m=2 verdicts were not ingested")
+	}
+	for _, e := range entries {
+		if filepath.IsAbs(e.File) {
+			t.Errorf("budget row path not module-relative: %s", e.File)
+		}
+		if e.Kind != "structural" && e.Kind != "too-complex" {
+			t.Errorf("unexpected budget kind %q for %s", e.Kind, e.Func)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+// Stub of the simulator core for the inlinecost golden: the cycle loop
+// calls a go:noinline dispatcher, a recover-bearing sampler, an
+// over-budget body, and a justified out-of-line probe.
+package cpu
+
+// Core is the cycle-driven pipeline stub.
+type Core struct {
+	Cycle uint64
+	acc   uint64
+	lanes [4]uint64
+}
+
+// Run drives the cycle loop.
+func (c *Core) Run(budget uint64) {
+	for c.Cycle = 0; c.Cycle < budget; c.Cycle++ {
+		c.step()
+	}
+}
+
+//go:noinline
+func (c *Core) step() { // want `hot function \(cpu\.Core\)\.step cannot be inlined: marked go:noinline`
+	c.acc += c.sample()
+	c.mix()
+	c.probe()
+}
+
+func (c *Core) sample() uint64 { // want `hot function \(cpu\.Core\)\.sample cannot be inlined: call to recover`
+	if r := recover(); r != nil {
+		return 0
+	}
+	return c.acc
+}
+
+// mix is deliberately over the AST-node estimate budget.
+func (c *Core) mix() { // want `hot function \(cpu\.Core\)\.mix is estimated too complex: \d+ AST nodes exceed budget 120; split the slow path`
+	a := c.acc
+	b := c.Cycle
+	a += b & 1
+	b += a & 2
+	a += b & 3
+	b += a & 4
+	a += b & 5
+	b += a & 6
+	a += b & 7
+	b += a & 8
+	a += b & 9
+	b += a & 10
+	a += b & 11
+	b += a & 12
+	a += b & 13
+	b += a & 14
+	a += b & 15
+	b += a & 16
+	a += b & 17
+	b += a & 18
+	c.lanes[0] += a
+	c.lanes[1] += b
+	c.lanes[2] += a ^ b
+	c.lanes[3] += a &^ b
+	c.acc = a + b
+}
+
+//go:noinline
+//vrlint:allow inlinecost -- PR-8: kept out of line as the profiling anchor
+func (c *Core) probe() {
+	c.acc ^= c.Cycle
+}

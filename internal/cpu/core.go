@@ -379,6 +379,8 @@ type RegContext struct {
 // ApproxContext builds the runahead register context and the PC to
 // pre-execute from (the oldest unfinished instruction, normally the
 // blocking load at the ROB head).
+//
+//vrlint:allow inlinecost -- cost 147: runs once per runahead activation; the register snapshot is the work
 func (c *Core) ApproxContext() (ctx RegContext, startPC int) {
 	ctx.Regs = c.archRegs
 	for i := range ctx.Valid {
@@ -539,6 +541,7 @@ func (c *Core) retire(e *robEntry) {
 		c.Stats.CommittedStores++
 		c.sqCount--
 		c.dropSlot(&c.stores, slot)
+		//vrlint:allow hotalloc -- inlined sparse page fault-in from mem.Backing.Store, justified at its definition
 		c.data.Store(e.addr, e.val)
 		c.hier.Access(c.cycle, e.pc, e.addr, true, mem.ClassDemand, mem.SrcDemand)
 	case e.in.IsLoad():

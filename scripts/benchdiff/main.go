@@ -196,10 +196,12 @@ func compare(oldFile, newFile string, threshold float64) (regressed bool, err er
 	for _, b := range oldBase.Benchmarks {
 		oldBy[b.Name] = b
 	}
+	var added []string
 	fmt.Printf("%-40s %15s %15s %10s\n", "benchmark", "old allocs/op", "new allocs/op", "delta")
 	for _, nb := range newBase.Benchmarks {
 		ob, ok := oldBy[nb.Name]
 		if !ok {
+			added = append(added, nb.Name)
 			fmt.Printf("%-40s %15s %15d %10s\n", nb.Name, "(new)", nb.AllocsPerOp, "-")
 			continue
 		}
@@ -212,13 +214,24 @@ func compare(oldFile, newFile string, threshold float64) (regressed bool, err er
 		}
 		fmt.Printf("%-40s %15d %15d %+9.1f%%%s\n", nb.Name, ob.AllocsPerOp, nb.AllocsPerOp, delta, mark)
 	}
-	var gone []string
+	var removed []string
 	for name := range oldBy {
-		gone = append(gone, name)
+		removed = append(removed, name)
 	}
-	sort.Strings(gone)
-	for _, name := range gone {
+	sort.Strings(removed)
+	for _, name := range removed {
 		fmt.Printf("%-40s %15d %15s %10s\n", name, oldBy[name].AllocsPerOp, "(gone)", "-")
+	}
+	// Name churn is reported explicitly: a silently vanished benchmark is
+	// how an allocation gate stops gating (renamed benchmarks look like a
+	// removal plus an ungated addition).
+	if len(added) > 0 {
+		fmt.Printf("\nbenchdiff: %d benchmark(s) not in %s (ungated until the baseline is re-recorded): %s\n",
+			len(added), oldFile, strings.Join(added, ", "))
+	}
+	if len(removed) > 0 {
+		fmt.Printf("\nbenchdiff: %d benchmark(s) in %s no longer present: %s\n",
+			len(removed), oldFile, strings.Join(removed, ", "))
 	}
 	if regressed {
 		fmt.Printf("\nbenchdiff: allocation regression above %.0f%% against %s\n", threshold, oldFile)
@@ -240,6 +253,11 @@ func allocDelta(oldN, newN int64) float64 {
 
 func readBaseline(file string) (Baseline, error) {
 	data, err := os.ReadFile(file)
+	if os.IsNotExist(err) {
+		return Baseline{}, fmt.Errorf(
+			"baseline %s does not exist; record one with `go test -bench=. -benchmem -benchtime=1x -count=6 -run='^$' . | go run ./scripts/benchdiff -record %s`",
+			file, file)
+	}
 	if err != nil {
 		return Baseline{}, err
 	}
@@ -248,7 +266,7 @@ func readBaseline(file string) (Baseline, error) {
 		return Baseline{}, fmt.Errorf("%s: %w", file, err)
 	}
 	if len(b.Benchmarks) == 0 {
-		return Baseline{}, fmt.Errorf("%s: no benchmarks", file)
+		return Baseline{}, fmt.Errorf("baseline %s contains no benchmarks; it gates nothing — re-record it", file)
 	}
 	return b, nil
 }
