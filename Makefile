@@ -51,11 +51,12 @@ budgetcheck:
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
-# Allocation-budget gate: re-run the benchmarks (6 repeats, median taken
-# by the comparator) and fail if any benchmark's allocs/op regressed >25%
-# against the committed baseline (BENCH_PR7.json). ns/op is reported but
-# never gates — only allocation counts are stable on shared hardware.
-# See scripts/benchdiff.
+# Allocation- and time-budget gate: re-run the benchmarks (6 repeats,
+# component-wise medians taken by the comparator) and fail if any
+# benchmark's allocs/op regressed >25% or its ns/op more than 2x against
+# the committed baseline (BENCH_PR9.json). The loose time gate catches
+# order-of-magnitude pathologies; jitter never trips it. See
+# scripts/benchdiff.
 benchdiff:
 	$(GO) test -bench=. -benchmem -benchtime=1x -count=6 -run=^$$ . | $(GO) run ./scripts/benchdiff -record /tmp/bench_now.json -note "benchdiff candidate"
-	$(GO) run ./scripts/benchdiff -old BENCH_PR7.json -new /tmp/bench_now.json -threshold 25
+	$(GO) run ./scripts/benchdiff -old BENCH_PR9.json -new /tmp/bench_now.json -threshold 25 -nsthreshold 100

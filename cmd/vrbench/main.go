@@ -58,6 +58,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"syscall"
 	"time"
@@ -104,8 +106,41 @@ func run() int {
 		checkpoint = flag.String("checkpoint", "", "write-ahead journal path: append every completed cell for -resume")
 		resume     = flag.Bool("resume", false, "replay completed cells from the -checkpoint journal instead of re-simulating")
 		check      = flag.Bool("check", false, "validate every run against the cosimulation oracle and runtime invariant checker; divergences fail their cell permanently")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file (pprof format)")
+		memProf    = flag.String("memprofile", "", "write a heap profile (after GC) at campaign end to this file (pprof format)")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return configErr("-cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return configErr("-cpuprofile: %v", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		// Create (and thus validate) the path up front; the profile itself
+		// is captured after the campaign, post-GC, so it reflects retained
+		// memory rather than transient garbage.
+		f, err := os.Create(*memProf)
+		if err != nil {
+			return configErr("-memprofile: %v", err)
+		}
+		defer func() {
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "vrbench: -memprofile: %v\n", err)
+			}
+			f.Close()
+		}()
+	}
 
 	faultScope, err := harness.ParseFaultScope(*scope)
 	if err != nil {

@@ -60,6 +60,14 @@ func (p *PRE) HoldCommit() bool { return false }
 // invariant checker queries; PRE never holds commit.
 func (p *PRE) Holding() bool { return false }
 
+// EngineIdle implements cpu.EngineIdler: idle when no interval is active
+// and the blocking load returns inside MinInterval, so the activation
+// trigger (bl.Done >= t+MinInterval, monotonically harder as t grows)
+// cannot fire anywhere in the window.
+func (p *PRE) EngineIdle(now, blDone uint64) bool {
+	return !p.active && blDone < now+p.cfg.MinInterval
+}
+
 // Active reports whether a runahead interval is in progress.
 func (p *PRE) Active() bool { return p.active }
 

@@ -28,16 +28,17 @@ const maxDivergeStack = 8
 
 // stashDivergent records the lanes that took the other branch direction.
 // It returns true if they were stashed; false means the caller should fall
-// back to masking them off (stack full or feature disabled).
-//
-//vrlint:allow hotalloc -- one mask copy per divergence, bounded by maxDivergeStack; pooled by the PR-8 overhaul
+// back to masking them off (stack full or feature disabled). Stack entries
+// and their masks are preallocated at construction (NewVR); pushing
+// re-slices into that storage and copies the mask, allocating nothing.
 func (v *VR) stashDivergent(pc int, other []bool) bool {
 	if !v.cfg.Reconverge || len(v.diverge) >= maxDivergeStack {
 		return false
 	}
-	m := make([]bool, len(other))
-	copy(m, other)
-	v.diverge = append(v.diverge, divergePoint{pc: pc, mask: m})
+	n := len(v.diverge)
+	v.diverge = v.diverge[:n+1]
+	v.diverge[n].pc = pc
+	copy(v.diverge[n].mask, other)
 	v.Stats.LanesStashed += countTrue(other)
 	return true
 }

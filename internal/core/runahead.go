@@ -81,6 +81,14 @@ func (p *ClassicRA) HoldCommit() bool {
 // invariant checker queries at every retirement.
 func (p *ClassicRA) Holding() bool { return !p.active && p.holdUntil > 0 }
 
+// EngineIdle implements cpu.EngineIdler: idle when no interval is active,
+// no post-interval flush is pending (Tick clearing holdUntil is a state
+// change the core must not skip), and the blocking load returns inside
+// MinInterval so the activation trigger cannot fire anywhere in the window.
+func (p *ClassicRA) EngineIdle(now, blDone uint64) bool {
+	return !p.active && p.holdUntil == 0 && blDone < now+p.cfg.MinInterval
+}
+
 // Tick implements cpu.Engine.
 func (p *ClassicRA) Tick(c *cpu.Core) {
 	now := c.Cycle()

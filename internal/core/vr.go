@@ -103,11 +103,13 @@ type VR struct {
 	w      walker
 	now    uint64
 
-	// Vectorized-chain state.
+	// Vectorized-chain state. The per-register tables are regSpace-sized
+	// (full uint8 index space) so Reg-typed indexing is provably in
+	// bounds; only the first isa.NumRegs entries carry lane arrays.
 	vec          bool
-	taint        [isa.NumRegs]bool
-	vregs        [isa.NumRegs][]uint64
-	vvalid       [isa.NumRegs][]bool
+	taint        [regSpace]bool
+	vregs        [regSpace][]uint64
+	vvalid       [regSpace][]bool
 	mask         []bool
 	stridePC     int
 	strideBase   uint64 // address of lane 0 for the *next* round
@@ -121,8 +123,17 @@ type VR struct {
 	coveredPC    int
 	coveredUntil uint64
 	// diverge stashes lane groups that took the other branch direction
-	// (the Reconverge extension).
+	// (the Reconverge extension). Its backing array and per-entry masks
+	// are preallocated at construction and reused across episodes.
 	diverge []divergePoint
+
+	// laneAddrs and otherMask are per-step lane scratch, owned exclusively
+	// by the step that is currently executing: laneAddrs carries gather
+	// addresses from computation to issue, otherMask collects a branch's
+	// divergent minority before it is stashed or discarded. Neither is
+	// read across steps, so one buffer of each serves every episode.
+	laneAddrs []uint64
+	otherMask []bool
 
 	waitUntil  uint64 // gather data in flight: no steps before this
 	uopBacklog int    // issue slots owed from wide vector ops
@@ -130,13 +141,28 @@ type VR struct {
 	Stats VRStats
 }
 
-// NewVR returns a Vector Runahead engine.
+// NewVR returns a Vector Runahead engine. All per-lane scratch — the
+// active mask, the vector register file, gather address and divergence
+// buffers — is allocated here once and reused for the engine's lifetime;
+// no steady-state path allocates.
 func NewVR(cfg VRConfig) *VR {
-	return &VR{
-		cfg:     cfg,
-		strides: prefetch.NewStrideTable(cfg.StrideEntries),
-		mask:    make([]bool, cfg.VectorLength),
+	v := &VR{
+		cfg:       cfg,
+		strides:   prefetch.NewStrideTable(cfg.StrideEntries),
+		mask:      make([]bool, cfg.VectorLength),
+		laneAddrs: make([]uint64, cfg.VectorLength),
+		otherMask: make([]bool, cfg.VectorLength),
+		diverge:   make([]divergePoint, 0, maxDivergeStack),
 	}
+	for r := 0; r < isa.NumRegs; r++ {
+		v.vregs[r] = make([]uint64, cfg.VectorLength)
+		v.vvalid[r] = make([]bool, cfg.VectorLength)
+	}
+	for i := 0; i < maxDivergeStack; i++ {
+		v.diverge = append(v.diverge, divergePoint{mask: make([]bool, cfg.VectorLength)})
+	}
+	v.diverge = v.diverge[:0]
+	return v
 }
 
 // Bind attaches the engine to a core: it becomes the core's runahead engine
@@ -166,6 +192,15 @@ func (v *VR) HoldCommit() bool {
 // instruction commits architecturally while the engine demands a hold.
 func (v *VR) Holding() bool {
 	return v.cfg.DelayedTermination && v.active && v.vec && v.now >= v.blDone
+}
+
+// EngineIdle implements cpu.EngineIdler: with no activation in progress,
+// every Tick over a stall window whose blocking load returns inside
+// MinInterval is the activation check falling through — the trigger
+// condition bl.Done >= t+MinInterval only gets harder as t grows, so the
+// whole window is provably inert and the core may skip it.
+func (v *VR) EngineIdle(now, blDone uint64) bool {
+	return !v.active && blDone < now+v.cfg.MinInterval
 }
 
 // Tick implements cpu.Engine.
@@ -223,10 +258,11 @@ func (v *VR) deactivate() {
 	v.active = false
 	v.vec = false
 	v.diverge = v.diverge[:0]
+	// The pooled vector registers keep their (stale) lane values; taint is
+	// the access guard — laneVal never reads a register whose taint is
+	// clear, and re-tainting always writes every lane first.
 	for r := range v.taint {
 		v.taint[r] = false
-		v.vregs[r] = nil
-		v.vvalid[r] = nil
 	}
 }
 
@@ -367,8 +403,6 @@ func (v *VR) scalarStep(c *cpu.Core, in isa.Instr) {
 
 // vectorize begins a vectorized chain at the striding load `in` sitting at
 // v.stridePC: lanes cover the next VectorLength iterations.
-//
-//vrlint:allow hotalloc -- per-activation lane scratch; pooled by the PR-8 overhaul
 func (v *VR) vectorize(c *cpu.Core, in isa.Instr) int {
 	vl := v.cfg.VectorLength
 	v.vec = true
@@ -378,17 +412,27 @@ func (v *VR) vectorize(c *cpu.Core, in isa.Instr) int {
 	for r := range v.taint {
 		v.taint[r] = false
 	}
-	addrs := make([]uint64, vl)
-	for i := 0; i < vl; i++ {
-		v.mask[i] = true
+	// The clamps below never bind (mask and laneAddrs are VectorLength-
+	// sized at construction); they let the compiler drop the per-lane
+	// bounds checks.
+	addrs, mask := v.laneAddrs, v.mask
+	n := vl
+	if n > len(addrs) {
+		n = len(addrs)
+	}
+	if n > len(mask) {
+		n = len(mask)
+	}
+	for i := 0; i < n; i++ {
+		mask[i] = true
 		addrs[i] = uint64(int64(v.strideBase) + int64(i+1)*v.strideStep)
 	}
 	v.boundLimited = false
 	if v.cfg.LoopBoundAware {
 		v.maskBeyondBound(v.inferLoopBound(in), in)
 		var maxAddr uint64
-		for i := 0; i < vl; i++ {
-			if !v.mask[i] {
+		for i := 0; i < n; i++ {
+			if !mask[i] {
 				v.boundLimited = true
 			} else if addrs[i] > maxAddr {
 				maxAddr = addrs[i]
@@ -423,7 +467,7 @@ func (v *VR) vectorize(c *cpu.Core, in isa.Instr) int {
 // here at vectorization time. Runahead terminates the chain as soon as that
 // load's gathers have issued.
 func (v *VR) discoverFinalLoad(strideIn isa.Instr) int {
-	var taint [isa.NumRegs]bool
+	var taint [regSpace]bool
 	taint[strideIn.Dst] = true
 	final := v.stridePC
 	pc := v.stridePC + 1
@@ -485,15 +529,35 @@ func (v *VR) discoverFinalLoad(strideIn isa.Instr) int {
 // subthread waits for its data, which is exactly what overlaps the lanes'
 // misses.
 //
-//vrlint:allow hotalloc -- per-wave lane value/valid scratch; pooled by the PR-8 overhaul
+// The destination's pooled lane arrays are overwritten in full: masked
+// lanes are cleared, not skipped, preserving the fresh-slice semantics a
+// later-resumed divergent lane group observes.
 func (v *VR) gather(c *cpu.Core, in isa.Instr, addrs []uint64) int {
 	vl := v.cfg.VectorLength
-	vals := make([]uint64, vl)
-	valid := make([]bool, vl)
+	vals := v.vregs[in.Dst]
+	valid := v.vvalid[in.Dst]
+	mask := v.mask
+	// Dead clamps (every lane slice is VectorLength-sized): they prove the
+	// per-lane indexing in bounds so the loop carries no checks.
+	n := vl
+	if n > len(mask) {
+		n = len(mask)
+	}
+	if n > len(vals) {
+		n = len(vals)
+	}
+	if n > len(valid) {
+		n = len(valid)
+	}
+	if n > len(addrs) {
+		n = len(addrs)
+	}
 	var maxDone uint64
 	active := 0
-	for i := 0; i < vl; i++ {
-		if !v.mask[i] {
+	for i := 0; i < n; i++ {
+		if !mask[i] {
+			vals[i] = 0
+			valid[i] = false
 			continue
 		}
 		active++
@@ -505,8 +569,6 @@ func (v *VR) gather(c *cpu.Core, in isa.Instr, addrs []uint64) int {
 		vals[i] = c.Data().Load(addrs[i])
 		valid[i] = true
 	}
-	v.vregs[in.Dst] = vals
-	v.vvalid[in.Dst] = valid
 	if maxDone > v.waitUntil {
 		v.waitUntil = maxDone
 	}
@@ -534,25 +596,34 @@ func (v *VR) anyTaintedSource(in isa.Instr) bool {
 // laneVal reads source register r for lane i, broadcasting scalars.
 func (v *VR) laneVal(r isa.Reg, i int) (uint64, bool) {
 	if v.taint[r] {
-		if v.vvalid[r] == nil || !v.vvalid[r][i] {
+		vv, vr := v.vvalid[r], v.vregs[r]
+		if uint(i) >= uint(len(vv)) || uint(i) >= uint(len(vr)) || !vv[i] {
 			return 0, false
 		}
-		return v.vregs[r][i], true
+		return vr[i], true
 	}
 	return v.w.regs[r], v.w.valid[r]
 }
 
 // vecStep executes one instruction across all active lanes.
-//
-//vrlint:allow hotalloc -- per-step lane address/value scratch; pooled by the PR-8 overhaul
 func (v *VR) vecStep(c *cpu.Core, in isa.Instr) int {
 	vl := v.cfg.VectorLength
 	switch {
 	case in.IsBranch():
 		// Per-lane outcomes; lane 0 steers, divergent lanes are masked.
+		// The clamps are dead (mask and otherMask are VectorLength-sized);
+		// they prove the lane indexing in bounds.
+		mask, other := v.mask, v.otherMask
+		n := vl
+		if n > len(mask) {
+			n = len(mask)
+		}
+		if n > len(other) {
+			n = len(other)
+		}
 		lane0 := -1
-		for i := 0; i < vl; i++ {
-			if v.mask[i] {
+		for i := 0; i < n; i++ {
+			if mask[i] {
 				lane0 = i
 				break
 			}
@@ -569,23 +640,26 @@ func (v *VR) vecStep(c *cpu.Core, in isa.Instr) int {
 		} else {
 			taken0 = v.w.pred.Predict(v.w.pc, v.w.hist)
 		}
-		var other []bool
-		for i := lane0 + 1; i < vl; i++ {
-			if !v.mask[i] {
+		haveOther := false
+		for i := lane0 + 1; i < n; i++ {
+			if !mask[i] {
 				continue
 			}
 			a, okA := v.laneVal(in.Src1, i)
 			b, okB := v.laneVal(in.Src2, i)
 			if !okA || !okB {
-				v.mask[i] = false
+				mask[i] = false
 				v.Stats.LanesMasked++
 				continue
 			}
 			if isa.BranchTaken(in, a, b) != taken0 {
-				v.mask[i] = false
+				mask[i] = false
 				if v.cfg.Reconverge {
-					if other == nil {
-						other = make([]bool, vl)
+					if !haveOther {
+						haveOther = true
+						for j := range other {
+							other[j] = false
+						}
 					}
 					other[i] = true
 				} else {
@@ -593,7 +667,7 @@ func (v *VR) vecStep(c *cpu.Core, in isa.Instr) int {
 				}
 			}
 		}
-		if other != nil {
+		if haveOther {
 			// The divergent group resumes on the path lane 0 did not take.
 			otherPC := in.Target
 			if taken0 {
@@ -613,15 +687,24 @@ func (v *VR) vecStep(c *cpu.Core, in isa.Instr) int {
 		return 1
 
 	case in.IsLoad():
-		addrs := make([]uint64, vl)
-		for i := 0; i < vl; i++ {
-			if !v.mask[i] {
+		// Dead clamps (lane slices are VectorLength-sized) for check-free
+		// lane indexing.
+		addrs, mask := v.laneAddrs, v.mask
+		n := vl
+		if n > len(addrs) {
+			n = len(addrs)
+		}
+		if n > len(mask) {
+			n = len(mask)
+		}
+		for i := 0; i < n; i++ {
+			if !mask[i] {
 				continue
 			}
 			a, okA := v.laneVal(in.Src1, i)
 			b, okB := v.laneVal(in.Src2, i)
 			if !okA || !okB {
-				v.mask[i] = false
+				mask[i] = false
 				v.Stats.LanesMasked++
 				continue
 			}
@@ -641,10 +724,16 @@ func (v *VR) vecStep(c *cpu.Core, in isa.Instr) int {
 		return cost
 
 	case in.IsStore():
-		// Prefetch per-lane store targets.
+		// Prefetch per-lane store targets. The clamp is dead (mask is
+		// VectorLength-sized); it makes the lane indexing check-free.
+		mask := v.mask
+		lanes := vl
+		if lanes > len(mask) {
+			lanes = len(mask)
+		}
 		n := 0
-		for i := 0; i < vl; i++ {
-			if !v.mask[i] {
+		for i := 0; i < lanes; i++ {
+			if !mask[i] {
 				continue
 			}
 			a, okA := v.laneVal(in.Src1, i)
@@ -663,12 +752,31 @@ func (v *VR) vecStep(c *cpu.Core, in isa.Instr) int {
 		return cost
 
 	default:
-		// Vector ALU across lanes.
+		// Vector ALU across lanes, in place over the destination's pooled
+		// lane arrays. Lane i reads only index i of its sources before
+		// writing index i, so Dst aliasing Src1/Src2 is safe; masked and
+		// invalid lanes are cleared, not skipped, preserving fresh-slice
+		// semantics for later-resumed divergent groups.
 		if in.WritesDst() {
-			vals := make([]uint64, vl)
-			valid := make([]bool, vl)
-			for i := 0; i < vl; i++ {
-				if !v.mask[i] {
+			// Dead clamps (lane slices are VectorLength-sized) for
+			// check-free lane indexing.
+			vals := v.vregs[in.Dst]
+			valid := v.vvalid[in.Dst]
+			mask := v.mask
+			n := vl
+			if n > len(vals) {
+				n = len(vals)
+			}
+			if n > len(valid) {
+				n = len(valid)
+			}
+			if n > len(mask) {
+				n = len(mask)
+			}
+			for i := 0; i < n; i++ {
+				if !mask[i] {
+					vals[i] = 0
+					valid[i] = false
 					continue
 				}
 				a, okA := v.laneVal(in.Src1, i)
@@ -676,10 +784,11 @@ func (v *VR) vecStep(c *cpu.Core, in isa.Instr) int {
 				if okA && okB {
 					vals[i] = isa.ALUResult(in, a, b)
 					valid[i] = true
+				} else {
+					vals[i] = 0
+					valid[i] = false
 				}
 			}
-			v.vregs[in.Dst] = vals
-			v.vvalid[in.Dst] = valid
 			v.taint[in.Dst] = true
 			v.w.valid[in.Dst] = false
 		}

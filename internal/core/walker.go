@@ -24,6 +24,13 @@ import (
 	"vrsim/internal/isa"
 )
 
+// regSpace sizes per-register arrays to the full uint8 index space of
+// isa.Reg: indexing such an array with a Reg-typed value is provably in
+// bounds, so the pre-execution hot paths carry no bounds checks. Only
+// the first isa.NumRegs entries are ever populated — the ISA validates
+// register operands at program build time.
+const regSpace = 256
+
 // walker is the transient pre-execution context shared by the runahead
 // engines: an approximate scalar register file with INV bits, a program
 // counter, and a local branch-history register for walking the predicted
@@ -31,8 +38,8 @@ import (
 type walker struct {
 	prog  *isa.Program
 	pred  branch.Predictor
-	regs  [isa.NumRegs]uint64
-	valid [isa.NumRegs]bool
+	regs  [regSpace]uint64
+	valid [regSpace]bool
 	pc    int
 	hist  uint64
 	steps uint64 // instructions walked this activation
@@ -43,14 +50,15 @@ type walker struct {
 //vrlint:allow inlinecost -- cost 94: runs once per runahead activation; the context copy is the work
 func newWalker(c *cpu.Core) walker {
 	ctx, startPC := c.ApproxContext()
-	return walker{
-		prog:  c.Program(),
-		pred:  c.Predictor(),
-		regs:  ctx.Regs,
-		valid: ctx.Valid,
-		pc:    startPC,
-		hist:  c.GHR(),
+	w := walker{
+		prog: c.Program(),
+		pred: c.Predictor(),
+		pc:   startPC,
+		hist: c.GHR(),
 	}
+	copy(w.regs[:isa.NumRegs], ctx.Regs[:])
+	copy(w.valid[:isa.NumRegs], ctx.Valid[:])
+	return w
 }
 
 // fetch returns the instruction at the walker's PC.

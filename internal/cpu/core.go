@@ -25,6 +25,19 @@ type Engine interface {
 	HoldCommit() bool
 }
 
+// EngineIdler is optionally implemented by engines that can prove
+// inertness to the core's idle-cycle fast-forward: given a core stalled on
+// a blocked load at the ROB head whose data returns at blDone, EngineIdle
+// reports that every Tick with a cycle in [now, blDone) is guaranteed to
+// observe nothing, issue nothing and mutate nothing (including its own
+// statistics). The guarantee must be monotone in the cycle — once idle for
+// the window, idle for all of it — because the core skips the Ticks
+// entirely. Engines that cannot prove this simply do not implement the
+// interface and the core never fast-forwards around them.
+type EngineIdler interface {
+	EngineIdle(now, blDone uint64) bool
+}
+
 // StallCause classifies cycles in which the commit stage made no progress.
 type StallCause uint8
 
@@ -163,9 +176,12 @@ type robEntry struct {
 	addrReady bool
 	valReady  bool // stores: value captured
 
-	srcRob [3]int
-	srcSeq [3]uint64
-	srcReg [3]isa.Reg
+	// Source arrays are sized 4 (one past the 3-source maximum) so index
+	// expressions can be masked with &3, which the compiler proves in
+	// bounds — the hot operand path carries no bounds checks.
+	srcRob [4]int
+	srcSeq [4]uint64
+	srcReg [4]isa.Reg
 	nsrc   int
 }
 
@@ -177,6 +193,11 @@ type robEntry struct {
 // matching stores; a store that later resolves to a word an already-issued
 // younger load read triggers an ordering violation — the load and
 // everything younger squash and refetch.
+//
+// Every queue the cycle loop touches — the front queue, the reorder
+// buffer, the issue queue, the store ring and the issued-load set — is a
+// fixed-capacity structure sized from the validated configuration at
+// construction, so the steady state allocates nothing.
 type Core struct {
 	cfg  Config
 	prog *isa.Program
@@ -185,6 +206,7 @@ type Core struct {
 	pred branch.Predictor
 
 	engine Engine
+	idler  EngineIdler // engine's idle-window proof, nil if not provided
 
 	// LoadObserver, when set, is invoked for every demand load the main
 	// thread issues (including wrong-path ones, as in hardware). Vector
@@ -203,10 +225,12 @@ type Core struct {
 	nextSeq   uint64
 	halted    bool
 
-	// Front end.
+	// Front end: a fixed ring of decoded slots (capacity FetchBufSize).
 	fetchPC      int
 	fetchStopped bool
-	frontQ       []fetchSlot
+	frontQ       []fetchSlot // power-of-two capacity >= FetchBufSize
+	fqHead       int
+	fqLen        int
 	ghr          uint64 // speculative global history register
 
 	// Reorder buffer (ring).
@@ -214,12 +238,31 @@ type Core struct {
 	head  int
 	count int
 
-	// Scheduler state: ring slots, each list in program order.
-	iq       []int // dispatched, not yet issued
-	stores   []int // in-flight stores (forwarding and violation checks)
-	ldIssued []int // issued, uncommitted loads (violation targets)
+	// Scheduler state over ring slots. iq is a compact array in program
+	// order (capacity IQSize). stores is a ring in program order
+	// (capacity SQSize): commits pop the front, squashes drop the tail,
+	// so maintenance is O(1) while store-forwarding keeps its age order.
+	// ldIssued is an unordered set (capacity LQSize) with ldPos mapping
+	// each ROB slot to its position, for O(1) removal in any order —
+	// loads leave at commit in program order but entered in issue order,
+	// which is what made the old list scan quadratic under squash-heavy
+	// runs.
+	iq       []int
+	iqLen    int
+	stores   []int // power-of-two capacity >= SQSize
+	stHead   int
+	stLen    int
+	ldIssued []int
+	ldLen    int
+	ldPos    []int // ROB slot -> index in ldIssued, or noProducer
 	lqCount  int
 	sqCount  int
+
+	// storeDropScans counts store retirements that missed the ring front.
+	// Stores retire in program order, so this stays zero by construction;
+	// the fallback scan keeps an impossible mismatch from corrupting the
+	// ring, and tests pin the counter to prove the O(1) claim.
+	storeDropScans uint64
 
 	// Rename state: architectural register -> producing ROB slot.
 	renameRob [isa.NumRegs]int
@@ -245,26 +288,48 @@ type Core struct {
 	Stats Stats
 }
 
+// nextPow2 returns the smallest power of two >= n (n >= 1): the rings are
+// oversized to power-of-two capacities so index wrap is a single mask.
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
 // New builds a core over the program, backing store and hierarchy.
 func New(cfg Config, prog *isa.Program, data *mem.Backing, hier *mem.Hierarchy) *Core {
 	c := &Core{
-		cfg:  cfg,
-		prog: prog,
-		data: data,
-		hier: hier,
-		pred: cfg.NewPredictor(),
-		rob:  make([]robEntry, cfg.ROBSize),
+		cfg:      cfg,
+		prog:     prog,
+		data:     data,
+		hier:     hier,
+		pred:     cfg.NewPredictor(),
+		rob:      make([]robEntry, cfg.ROBSize),
+		frontQ:   make([]fetchSlot, nextPow2(cfg.FetchBufSize)),
+		iq:       make([]int, cfg.IQSize),
+		stores:   make([]int, nextPow2(cfg.SQSize)),
+		ldIssued: make([]int, cfg.LQSize),
+		ldPos:    make([]int, cfg.ROBSize),
 	}
 	c.commitSeq = make([]uint64, cfg.ROBSize)
 	c.commitV = make([]uint64, cfg.ROBSize)
 	for i := range c.renameRob {
 		c.renameRob[i] = noProducer
 	}
+	for i := range c.ldPos {
+		c.ldPos[i] = noProducer
+	}
 	return c
 }
 
-// AttachEngine connects a runahead engine. Pass nil to detach.
-func (c *Core) AttachEngine(e Engine) { c.engine = e }
+// AttachEngine connects a runahead engine. Pass nil to detach. Engines
+// additionally implementing EngineIdler opt in to idle-cycle fast-forward.
+func (c *Core) AttachEngine(e Engine) {
+	c.engine = e
+	c.idler, _ = e.(EngineIdler)
+}
 
 // Cycle returns the current cycle number.
 func (c *Core) Cycle() uint64 { return c.cycle }
@@ -327,7 +392,7 @@ func (c *Core) HeadPC() int {
 }
 
 // IQLen returns the current issue-queue occupancy.
-func (c *Core) IQLen() int { return len(c.iq) }
+func (c *Core) IQLen() int { return c.iqLen }
 
 // LQOccupancy returns the number of in-flight loads.
 func (c *Core) LQOccupancy() int { return c.lqCount }
@@ -341,6 +406,18 @@ func (c *Core) slot(i int) int { return (c.head + i) % c.cfg.ROBSize }
 // ordinal maps a ring index back to its in-ROB position.
 func (c *Core) ordinal(slot int) int {
 	return (slot - c.head + c.cfg.ROBSize) % c.cfg.ROBSize
+}
+
+// storeAt returns the ROB slot of the i-th oldest in-flight store. The
+// ring is indexed through a length-derived mask behind an emptiness
+// guard so the compiler can prove the access in bounds (the guard is
+// dead: the ring is never zero-capacity).
+func (c *Core) storeAt(i int) int {
+	s := c.stores
+	if len(s) == 0 {
+		return 0
+	}
+	return s[uint(c.stHead+i)&uint(len(s)-1)]
 }
 
 // BlockedLoad describes the load miss blocking the ROB head, if any.
@@ -455,6 +532,14 @@ func (c *Core) Run(budget uint64) error {
 // reading a clock (which would break simulator determinism); the hot loop
 // pays one nil test plus a counter per cycle, and nothing at all through
 // Run. A nil check (or every == 0) disables the hook.
+//
+// When the core can prove a span of cycles inert — stalled on a single
+// outstanding memory return with every stage, the fetch unit and the
+// engine quiescent — it fast-forwards the clock across the span instead
+// of stepping it (see idleWindow). The skip is bounded so the periodic
+// hook, the watchdog and the cycle limit all fire at exactly the cycles
+// they would have under stepping; a run with fast-forward is
+// byte-identical to one without.
 func (c *Core) RunChecked(budget, every uint64, check func() error) error {
 	lastCommitted := c.Stats.Committed
 	lastProgress := c.cycle
@@ -482,9 +567,145 @@ func (c *Core) RunChecked(budget, every uint64, check func() error) error {
 				}
 			}
 		}
+		if skip := c.idleWindow(); skip > 1 {
+			// Clamp the skip so every externally visible event — the
+			// cycle limit, the watchdog and the periodic hook — still
+			// fires at exactly the cycle stepping would have fired it.
+			if c.cfg.MaxCycles != 0 {
+				if m := c.cfg.MaxCycles - c.cycle; skip > m {
+					skip = m
+				}
+			}
+			if c.cfg.WatchdogCycles != 0 && c.cycle >= lastProgress {
+				elapsed := c.cycle - lastProgress
+				if c.cfg.WatchdogCycles >= elapsed {
+					if w := c.cfg.WatchdogCycles - elapsed; skip > w {
+						skip = w
+					}
+				}
+			}
+			if check != nil && every != 0 {
+				if e := every - tick; skip > e {
+					skip = e
+				}
+			}
+			if skip > 1 {
+				c.skipIdle(skip)
+				tick += skip - 1
+				continue
+			}
+		}
 		c.Step()
 	}
 	return nil
+}
+
+// idleWindow returns how many upcoming cycles are provably inert — the
+// core is stalled on one outstanding load at the ROB head and no pipeline
+// stage, the fetch unit or the engine can change any state before the
+// window ends — or 0 when idleness cannot be proven. The preconditions:
+//
+//   - the ROB head is an issued load whose data has not returned;
+//   - the issue queue is empty (with it, every in-flight instruction has
+//     executed) and every in-flight store has captured its value, so the
+//     issue stage's store polling cannot act;
+//   - fetch is quiescent: stopped at a Halt, or the front queue is full;
+//   - the attached engine proves its own inertness via EngineIdler (a
+//     detached engine is trivially inert);
+//   - dispatch either has nothing ready, or is pinned against a back-end
+//     resource that only commit could free.
+//
+// The window ends at the head load's return — or earlier, at the moment a
+// front-queue slot clears the front-end pipeline into a dispatch that
+// would accept it. skipIdle then replays exactly the per-cycle statistics
+// Step would have recorded across the window.
+func (c *Core) idleWindow() uint64 {
+	if c.count == 0 {
+		return 0
+	}
+	h := &c.rob[c.head]
+	if !h.in.IsLoad() || !h.issued || !h.done || h.readyCycle <= c.cycle {
+		return 0
+	}
+	if c.iqLen != 0 {
+		return 0
+	}
+	if c.engine != nil && (c.idler == nil || !c.idler.EngineIdle(c.cycle, h.readyCycle)) {
+		return 0
+	}
+	for i := 0; i < c.stLen; i++ {
+		if !c.rob[c.storeAt(i)].valReady {
+			return 0
+		}
+	}
+	if !c.fetchStopped && c.fqLen < c.cfg.FetchBufSize {
+		return 0
+	}
+	end := h.readyCycle
+	if q := c.frontQ; c.fqLen > 0 && len(q) > 0 {
+		fs := &q[uint(c.fqHead)&uint(len(q)-1)]
+		if !c.dispatchWouldBlock(&fs.in) && fs.readyAt < end {
+			end = fs.readyAt
+		}
+	}
+	if end <= c.cycle {
+		return 0
+	}
+	return end - c.cycle
+}
+
+// dispatchWouldBlock reports whether dispatch would reject the
+// instruction for a full back-end resource. Only valid with an empty
+// issue queue (idleWindow's precondition), which rules out an IQ rejection.
+func (c *Core) dispatchWouldBlock(in *isa.Instr) bool {
+	switch {
+	case c.count == c.cfg.ROBSize:
+		return true
+	case in.IsLoad() && c.lqCount == c.cfg.LQSize:
+		return true
+	case in.IsStore() && c.sqCount == c.cfg.SQSize:
+		return true
+	}
+	return false
+}
+
+// skipIdle advances the clock k cycles across a window idleWindow proved
+// inert, bulk-recording exactly the statistics k Steps would have: the
+// commit stage stalls on the head load every cycle, the full-ROB counters
+// accrue when the window is ROB-bound, and the dispatch-blocked counters
+// accrue from the cycle the front-queue head clears the front end into a
+// pinned dispatch stage.
+func (c *Core) skipIdle(k uint64) {
+	if c.ROBFull() {
+		c.Stats.ROBFullCycles += k
+		c.Stats.ROBFullLoadMiss += k
+	}
+	c.Stats.CommitStall[StallLoad] += k
+	for i := range c.fuUsed {
+		c.fuUsed[i] = 0
+	}
+	c.issuedThisCycle = 0
+	blocked := false
+	q := c.frontQ
+	if c.fqLen > 0 && len(q) > 0 && c.dispatchWouldBlock(&q[uint(c.fqHead)&uint(len(q)-1)].in) {
+		from := c.cycle
+		if ra := q[uint(c.fqHead)&uint(len(q)-1)].readyAt; ra > from {
+			from = ra
+		}
+		if end := c.cycle + k; end > from {
+			d := end - from
+			if c.ROBFull() {
+				c.Stats.DispatchBlockedROB += d
+			}
+			c.Stats.ResourceStallCycles += d
+			c.Stats.ResourceStallLoadMiss += d
+			blocked = true
+		}
+	}
+	c.dispatchBlocked = blocked
+	c.cycle += k
+	//vrlint:allow cyclesafe -- statsBase is a snapshot of c.cycle taken in ResetStats, always <= c.cycle
+	c.Stats.Cycles = c.cycle - c.statsBase
 }
 
 // ---- commit ----
@@ -540,14 +761,23 @@ func (c *Core) retire(e *robEntry) {
 	case e.in.IsStore():
 		c.Stats.CommittedStores++
 		c.sqCount--
-		c.dropSlot(&c.stores, slot)
+		// Stores retire in program order and the store ring is in program
+		// order, so the retiree is always the ring front: O(1). The
+		// fallback guards (and counts) a mismatch that would otherwise
+		// corrupt store-forwarding silently.
+		if c.stLen > 0 && c.stores[c.stHead] == slot {
+			c.stHead = (c.stHead + 1) & (len(c.stores) - 1)
+			c.stLen--
+		} else {
+			c.dropStoreSlow(slot)
+		}
 		//vrlint:allow hotalloc -- inlined sparse page fault-in from mem.Backing.Store, justified at its definition
 		c.data.Store(e.addr, e.val)
 		c.hier.Access(c.cycle, e.pc, e.addr, true, mem.ClassDemand, mem.SrcDemand)
 	case e.in.IsLoad():
 		c.Stats.CommittedLoads++
 		c.lqCount--
-		c.dropSlot(&c.ldIssued, slot)
+		c.dropIssuedLoad(slot)
 	case e.in.IsBranch():
 		c.Stats.CommittedBranches++
 	}
@@ -588,24 +818,56 @@ func (c *Core) retire(e *robEntry) {
 	}
 }
 
-// dropSlot removes the (unique) slot from a scheduler list; commits always
-// remove the front, so the scan terminates immediately in practice.
+// dropStoreSlow is the cold fallback of retire's store-ring pop: a
+// mid-ring removal that by construction never runs (storeDropScans counts
+// it; tests pin it at zero).
 //
-//vrlint:allow hotalloc -- in-place compaction append, never grows the backing array
-func (c *Core) dropSlot(list *[]int, slot int) {
-	l := *list
-	for i, s := range l {
-		if s == slot {
-			*list = append(l[:i], l[i+1:]...)
-			return
-		}
+//vrlint:allow inlinecost -- cost 90: cold by construction — the fast path pops the ring front and tests pin storeDropScans at zero
+func (c *Core) dropStoreSlow(slot int) {
+	c.storeDropScans++
+	s := c.stores
+	if len(s) == 0 {
+		return
 	}
+	m := uint(len(s) - 1)
+	for i := 0; i < c.stLen; i++ {
+		j := uint(c.stHead+i) & m
+		if s[j] != slot {
+			continue
+		}
+		// Shift the younger suffix down one place, preserving age order.
+		for ; i+1 < c.stLen; i++ {
+			next := (j + 1) & m
+			s[j] = s[next]
+			j = next
+		}
+		c.stLen--
+		return
+	}
+}
+
+// dropIssuedLoad removes a load from the issued-load set by its position
+// index: O(1) regardless of commit/issue order interleaving.
+func (c *Core) dropIssuedLoad(slot int) {
+	p := c.ldPos[slot]
+	if p < 0 {
+		return
+	}
+	last := c.ldLen - 1
+	moved := c.ldIssued[last]
+	c.ldIssued[p] = moved
+	c.ldPos[moved] = p
+	c.ldLen = last
+	c.ldPos[slot] = noProducer
 }
 
 // ---- issue / execute ----
 
 // operand fetches the value of source k of entry e, reporting readiness.
+//
+//vrlint:allow inlinecost -- cost 82: two over budget from the index mask that keeps the src-array accesses bounds-check-free
 func (c *Core) operand(e *robEntry, k int) (uint64, bool) {
+	k &= 3 // identity for k in 0..2; proves the src-array accesses in bounds
 	slot := e.srcRob[k]
 	if slot == noProducer {
 		return c.archRegs[e.srcReg[k]], true
@@ -633,8 +895,8 @@ func (c *Core) issue() {
 	c.issuedThisCycle = 0
 
 	// Stores that issued without their value poll for it.
-	for _, slot := range c.stores {
-		e := &c.rob[slot]
+	for i := 0; i < c.stLen; i++ {
+		e := &c.rob[c.storeAt(i)]
 		if e.issued && !e.valReady {
 			if v, ok := c.operand(e, e.nsrc-1); ok {
 				e.val = v
@@ -645,23 +907,30 @@ func (c *Core) issue() {
 		}
 	}
 
-	// Select from the issue queue in program order.
+	// Select from the issue queue in program order. The local reslice and
+	// clamp (dead by the iqLen <= len(iq) invariant) let the compiler
+	// drop the per-iteration bounds checks.
+	iq := c.iq
+	n := c.iqLen
+	if n > len(iq) {
+		n = len(iq)
+	}
 	w := 0
 	epoch := c.squashEpoch
-	for r := 0; r < len(c.iq); r++ {
-		slot := c.iq[r]
+	for r := 0; r < n; r++ {
+		slot := iq[r]
 		e := &c.rob[slot]
 		if e.issued {
 			continue // stale after a mid-cycle squash rebuild
 		}
 		if c.issuedThisCycle >= c.cfg.Width {
-			c.iq[w] = slot
+			iq[w] = slot
 			w++
 			continue
 		}
 		fu := e.in.FU()
 		if c.fuUsed[fu] >= c.cfg.FUCount[fu] || !c.tryIssue(slot, e) {
-			c.iq[w] = slot
+			iq[w] = slot
 			w++
 			continue
 		}
@@ -674,15 +943,13 @@ func (c *Core) issue() {
 			return
 		}
 	}
-	c.iq = c.iq[:w]
+	c.iqLen = w
 }
 
 // tryIssue attempts to issue the entry; it returns true if the entry
 // consumed an issue slot. It may squash younger instructions (branch
 // mispredict, memory-ordering violation), invalidating c.iq — the caller
-// detects that via lastSquashSeq.
-//
-//vrlint:allow hotalloc -- scheduler-list appends amortize to ROB-bounded capacity; pooled by the PR-8 overhaul
+// detects that via the squash epoch.
 func (c *Core) tryIssue(slot int, e *robEntry) bool {
 	switch {
 	case e.in.IsStore():
@@ -693,7 +960,7 @@ func (c *Core) tryIssue(slot int, e *robEntry) bool {
 			if !ok {
 				return false
 			}
-			vals[k] = v
+			vals[k&1] = v // identity: address sources number at most 2
 		}
 		e.addr = isa.EffAddr(e.in, vals[0], vals[1])
 		e.addrReady = true
@@ -714,7 +981,7 @@ func (c *Core) tryIssue(slot int, e *robEntry) bool {
 			if !ok {
 				return false
 			}
-			vals[k] = v
+			vals[k&1] = v // identity: these opcode classes read at most 2 regs
 		}
 		addr := isa.EffAddr(e.in, vals[0], vals[1])
 		fwd, fwdVal, ready := c.forward(e.seq, addr)
@@ -736,7 +1003,9 @@ func (c *Core) tryIssue(slot int, e *robEntry) bool {
 			e.readyCycle = res.Done
 		}
 		e.done = true
-		c.ldIssued = append(c.ldIssued, slot)
+		c.ldPos[slot] = c.ldLen
+		c.ldIssued[c.ldLen] = slot
+		c.ldLen++
 		return true
 
 	case e.in.IsBranch():
@@ -778,7 +1047,7 @@ func (c *Core) tryIssue(slot int, e *robEntry) bool {
 			if !ok {
 				return false
 			}
-			vals[k] = v
+			vals[k&1] = v // identity: these opcode classes read at most 2 regs
 		}
 		e.issued = true
 		e.val = isa.ALUResult(e.in, vals[0], vals[1])
@@ -791,22 +1060,24 @@ func (c *Core) tryIssue(slot int, e *robEntry) bool {
 // forward looks for the youngest older in-flight store to the same word.
 // A resolved match forwards (or delays the load until the value is ready);
 // unresolved older stores are speculated past.
+//
+//vrlint:allow inlinecost -- cost 91: the ring guard that removes the scan's per-iteration bounds checks costs more statically than it saved
 func (c *Core) forward(loadSeq uint64, addr uint64) (fwd bool, val uint64, ready bool) {
 	word := addr >> 3
-	for i := len(c.stores) - 1; i >= 0; i-- {
-		e := &c.rob[c.stores[i]]
-		if e.seq >= loadSeq {
+	s := c.stores
+	if len(s) == 0 {
+		return false, 0, true
+	}
+	for i := c.stLen - 1; i >= 0; i-- {
+		e := &c.rob[s[uint(c.stHead+i)&uint(len(s)-1)]]
+		// Unresolved older stores are speculated past.
+		if e.seq >= loadSeq || !e.addrReady || e.addr>>3 != word {
 			continue
 		}
-		if !e.addrReady {
-			continue // speculate past unresolved stores
+		if e.valReady {
+			return true, e.val, true
 		}
-		if e.addr>>3 == word {
-			if e.valReady {
-				return true, e.val, true
-			}
-			return false, 0, false // matching store, value not ready yet
-		}
+		return false, 0, false // matching store, value not ready yet
 	}
 	return false, 0, true
 }
@@ -818,7 +1089,7 @@ func (c *Core) checkOrderViolation(st *robEntry) {
 	word := st.addr >> 3
 	victim := -1
 	var victimSeq uint64
-	for _, slot := range c.ldIssued {
+	for _, slot := range c.ldIssued[:c.ldLen] {
 		e := &c.rob[slot]
 		if e.seq > st.seq && e.addr>>3 == word {
 			if victim < 0 || e.seq < victimSeq {
@@ -854,20 +1125,51 @@ func (c *Core) squashFrom(i int, pc int) {
 		c.count = i
 	}
 
-	// Rebuild the scheduler lists, keeping only surviving slots. The issue
-	// queue additionally drops entries that already issued (the squashing
-	// branch itself is live but no longer schedulable).
-	c.iq = c.filterLive(c.iq)
+	// Rebuild the issue queue, keeping surviving slots that have not yet
+	// issued (the squashing branch itself is live but no longer
+	// schedulable). Reslice + clamp as in issue(): bounds checks vanish.
+	iq := c.iq
+	n := c.iqLen
+	if n > len(iq) {
+		n = len(iq)
+	}
 	w := 0
-	for _, s := range c.iq {
-		if !c.rob[s].issued {
-			c.iq[w] = s
+	for r := 0; r < n; r++ {
+		s := iq[r]
+		if c.ordinal(s) < c.count && !c.rob[s].issued {
+			iq[w] = s
 			w++
 		}
 	}
-	c.iq = c.iq[:w]
-	c.stores = c.filterLive(c.stores)
-	c.ldIssued = c.filterLive(c.ldIssued)
+	c.iqLen = w
+
+	// The store ring is in program order, so the squashed stores are
+	// exactly its tail.
+	for c.stLen > 0 {
+		if c.ordinal(c.storeAt(c.stLen-1)) < c.count {
+			break
+		}
+		c.stLen--
+	}
+
+	// Compact the issued-load set, keeping the position index coherent.
+	ld := c.ldIssued
+	n = c.ldLen
+	if n > len(ld) {
+		n = len(ld)
+	}
+	w = 0
+	for r := 0; r < n; r++ {
+		s := ld[r]
+		if c.ordinal(s) < c.count {
+			ld[w] = s
+			c.ldPos[s] = w
+			w++
+		} else {
+			c.ldPos[s] = noProducer
+		}
+	}
+	c.ldLen = w
 
 	// Rebuild the rename table from surviving entries.
 	for r := range c.renameRob {
@@ -882,44 +1184,38 @@ func (c *Core) squashFrom(i int, pc int) {
 	}
 
 	// Redirect fetch.
-	c.frontQ = c.frontQ[:0]
+	c.fqHead = 0
+	c.fqLen = 0
 	c.fetchStopped = false
 	c.fetchPC = pc
-}
-
-// filterLive keeps slots whose ordinal is within the surviving window and
-// whose entry has not been recycled.
-func (c *Core) filterLive(list []int) []int {
-	w := 0
-	for _, s := range list {
-		if c.ordinal(s) < c.count {
-			list[w] = s
-			w++
-		}
-	}
-	return list[:w]
 }
 
 // ---- dispatch ----
 
 // dispatch moves decoded instructions from the front queue into the ROB
 // and scheduler lists.
-//
-//vrlint:allow hotalloc -- scheduler-list appends amortize to ROB-bounded capacity; pooled by the PR-8 overhaul
 func (c *Core) dispatch() {
 	c.dispatchBlocked = false
+	// Length-derived masking (guard dead: the queue is never
+	// zero-capacity, and fqHead is already reduced) keeps the head
+	// accesses bounds-check free.
+	q := c.frontQ
+	if len(q) == 0 {
+		return
+	}
 	for n := 0; n < c.cfg.Width; n++ {
-		if len(c.frontQ) == 0 || c.frontQ[0].readyAt > c.cycle {
+		head := uint(c.fqHead) & uint(len(q)-1)
+		if c.fqLen == 0 || q[head].readyAt > c.cycle {
 			return
 		}
-		fs := c.frontQ[0]
+		fs := q[head]
 		if c.count == c.cfg.ROBSize {
 			c.Stats.DispatchBlockedROB++
 			c.dispatchBlocked = true
 			return
 		}
 		needsIQ := fs.in.Op != isa.Nop && !fs.in.IsHalt()
-		if needsIQ && len(c.iq) == c.cfg.IQSize {
+		if needsIQ && c.iqLen == c.cfg.IQSize {
 			c.dispatchBlocked = true
 			return
 		}
@@ -931,7 +1227,8 @@ func (c *Core) dispatch() {
 			c.dispatchBlocked = true
 			return
 		}
-		c.frontQ = c.frontQ[1:]
+		c.fqHead = int(head+1) & (len(q) - 1)
+		c.fqLen--
 
 		idx := c.slot(c.count)
 		c.count++
@@ -940,8 +1237,11 @@ func (c *Core) dispatch() {
 		*e = robEntry{seq: c.nextSeq, pc: fs.pc, in: fs.in, predTaken: fs.predTaken, hist: fs.hist}
 
 		var srcs [3]isa.Reg
-		ns := 0
-		for _, r := range fs.in.Sources(srcs[:0]) {
+		srcList := fs.in.Sources(srcs[:0])
+		if len(srcList) > len(e.srcReg) {
+			srcList = srcList[:len(e.srcReg)] // dead: Sources appends at most 3
+		}
+		for ns, r := range srcList {
 			e.srcReg[ns] = r
 			if p := c.renameRob[r]; p != noProducer {
 				e.srcRob[ns] = p
@@ -949,9 +1249,8 @@ func (c *Core) dispatch() {
 			} else {
 				e.srcRob[ns] = noProducer
 			}
-			ns++
 		}
-		e.nsrc = ns
+		e.nsrc = len(srcList)
 
 		if fs.in.WritesDst() {
 			c.renameRob[fs.in.Dst] = idx
@@ -962,13 +1261,17 @@ func (c *Core) dispatch() {
 			e.done = true
 			e.readyCycle = c.cycle
 		default:
-			c.iq = append(c.iq, idx)
+			c.iq[c.iqLen] = idx
+			c.iqLen++
 			if fs.in.IsLoad() {
 				c.lqCount++
 			}
 			if fs.in.IsStore() {
 				c.sqCount++
-				c.stores = append(c.stores, idx)
+				if s := c.stores; len(s) > 0 {
+					s[uint(c.stHead+c.stLen)&uint(len(s)-1)] = idx
+				}
+				c.stLen++
 			}
 		}
 	}
@@ -978,11 +1281,13 @@ func (c *Core) dispatch() {
 
 // fetch fills the front queue up to the fetch width, following the
 // predictor through branches.
-//
-//vrlint:allow hotalloc -- front-queue append amortizes to fetch-width capacity; pooled by the PR-8 overhaul
 func (c *Core) fetch() {
+	q := c.frontQ
+	if len(q) == 0 {
+		return
+	}
 	for n := 0; n < c.cfg.Width; n++ {
-		if c.fetchStopped || len(c.frontQ) >= c.cfg.FetchBufSize {
+		if c.fetchStopped || c.fqLen == c.cfg.FetchBufSize {
 			return
 		}
 		pc := c.fetchPC
@@ -1006,7 +1311,8 @@ func (c *Core) fetch() {
 		default:
 			c.fetchPC = pc + 1
 		}
-		c.frontQ = append(c.frontQ, fs)
+		q[uint(c.fqHead+c.fqLen)&uint(len(q)-1)] = fs
+		c.fqLen++
 		c.Stats.Fetched++
 	}
 }

@@ -477,3 +477,50 @@ func TestBimodalVsTAGEOnCore(t *testing.T) {
 		t.Errorf("tage cycles %d >= bimodal %d", tage.Stats.Cycles, bim.Stats.Cycles)
 	}
 }
+
+func TestSquashHeavyListOpsAmortizedO1(t *testing.T) {
+	// Regression test for the scheduler-list maintenance cost: commit pops
+	// the store ring's front and squash drops its tail, both O(1), with a
+	// counted O(n) scan (dropStoreSlow) kept only as a corruption guard.
+	// This run makes squashes with stores in flight the common case —
+	// stores sit on data-dependent mispredicted paths over random data —
+	// and pins the scan count at zero: every store retirement hit the ring
+	// front, so list maintenance stayed amortized O(1) under squash
+	// pressure.
+	base := uint64(0x10000)
+	out := uint64(0x80000)
+	n := 600
+	init := map[uint64]uint64{}
+	rng := rand.New(rand.NewSource(11))
+	watch := make([]uint64, 0, n)
+	for i := 0; i < n; i++ {
+		init[base+uint64(i)*8] = uint64(rng.Intn(100))
+		watch = append(watch, out+uint64(i)*8)
+	}
+	b := isa.NewBuilder("squash-stores")
+	b.Li(1, int64(base)) // input base
+	b.Li(2, 0)           // i
+	b.Li(3, int64(n))    // n
+	b.Li(4, int64(out))  // output base
+	b.Li(5, 50)          // threshold
+	b.Label("loop")
+	b.Ld(6, 1, 2, 3, 0) // v = A[i]
+	b.Bge(6, 5, "skip") // mispredicts on ~random data
+	b.St(6, 4, 2, 3, 0) // B[i] = v, squashed whenever the branch mispredicted the other way
+	b.Label("skip")
+	b.AddI(2, 2, 1)
+	b.Blt(2, 3, "loop")
+	b.Halt()
+	c, _ := runBoth(t, b.MustBuild(), init, watch)
+	if c.Stats.Mispredicts == 0 || c.Stats.Squashed == 0 {
+		t.Fatalf("run was not squash-heavy (mispredicts=%d squashed=%d); test lost its teeth",
+			c.Stats.Mispredicts, c.Stats.Squashed)
+	}
+	if c.Stats.CommittedStores == 0 {
+		t.Fatal("no stores committed; test lost its teeth")
+	}
+	if c.storeDropScans != 0 {
+		t.Errorf("storeDropScans = %d, want 0: store retirement fell off the ring-front fast path %d times",
+			c.storeDropScans, c.storeDropScans)
+	}
+}

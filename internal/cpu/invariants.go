@@ -22,8 +22,17 @@ func (c *Core) CheckInvariants() error {
 	if c.count < 0 || c.count > cfg.ROBSize {
 		return fmt.Errorf("ROB occupancy %d outside [0,%d]", c.count, cfg.ROBSize)
 	}
-	if n := len(c.iq); n > cfg.IQSize {
-		return fmt.Errorf("issue queue holds %d entries, capacity %d", n, cfg.IQSize)
+	if c.iqLen < 0 || c.iqLen > cfg.IQSize {
+		return fmt.Errorf("issue queue holds %d entries, capacity %d", c.iqLen, cfg.IQSize)
+	}
+	if c.fqLen < 0 || c.fqLen > cfg.FetchBufSize {
+		return fmt.Errorf("front queue holds %d entries, capacity %d", c.fqLen, cfg.FetchBufSize)
+	}
+	if c.stLen < 0 || c.stLen > cfg.SQSize {
+		return fmt.Errorf("store ring holds %d entries, capacity %d", c.stLen, cfg.SQSize)
+	}
+	if c.ldLen < 0 || c.ldLen > cfg.LQSize {
+		return fmt.Errorf("issued-load set holds %d entries, capacity %d", c.ldLen, cfg.LQSize)
 	}
 	if c.lqCount < 0 || c.lqCount > cfg.LQSize {
 		return fmt.Errorf("load queue count %d outside [0,%d]", c.lqCount, cfg.LQSize)
@@ -59,26 +68,38 @@ func (c *Core) CheckInvariants() error {
 
 	// Scheduler lists may only reference live window slots, and the typed
 	// lists must reference instructions of their type.
-	for _, s := range c.iq {
+	for _, s := range c.iq[:c.iqLen] {
 		if c.ordinal(s) >= c.count {
 			return fmt.Errorf("issue queue references dead ROB slot %d", s)
 		}
 	}
-	for _, s := range c.stores {
-		if c.ordinal(s) >= c.count {
-			return fmt.Errorf("store list references dead ROB slot %d", s)
+	prevOrd := -1
+	for i := 0; i < c.stLen; i++ {
+		s := c.storeAt(i)
+		ord := c.ordinal(s)
+		if ord >= c.count {
+			return fmt.Errorf("store ring references dead ROB slot %d", s)
 		}
 		if !c.rob[s].in.IsStore() {
-			return fmt.Errorf("store list slot %d holds a non-store (%s)", s, c.rob[s].in.Op)
+			return fmt.Errorf("store ring slot %d holds a non-store (%s)", s, c.rob[s].in.Op)
 		}
+		// O(1) retire and squash both depend on the ring staying in
+		// program order (oldest at the front).
+		if ord <= prevOrd {
+			return fmt.Errorf("store ring out of program order at index %d (slot %d)", i, s)
+		}
+		prevOrd = ord
 	}
-	for _, s := range c.ldIssued {
+	for i, s := range c.ldIssued[:c.ldLen] {
 		if c.ordinal(s) >= c.count {
-			return fmt.Errorf("issued-load list references dead ROB slot %d", s)
+			return fmt.Errorf("issued-load set references dead ROB slot %d", s)
 		}
 		e := &c.rob[s]
 		if !e.in.IsLoad() || !e.issued {
-			return fmt.Errorf("issued-load list slot %d holds op=%s issued=%v", s, e.in.Op, e.issued)
+			return fmt.Errorf("issued-load set slot %d holds op=%s issued=%v", s, e.in.Op, e.issued)
+		}
+		if c.ldPos[s] != i {
+			return fmt.Errorf("issued-load position index stale: slot %d at index %d, ldPos says %d", s, i, c.ldPos[s])
 		}
 	}
 	return nil

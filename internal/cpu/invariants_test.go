@@ -52,7 +52,7 @@ func TestCheckInvariantsCatchesCorruption(t *testing.T) {
 		if err := c.Run(50); err != nil {
 			t.Fatal(err)
 		}
-		if c.count == 0 || len(c.iq) == 0 {
+		if c.count == 0 || c.iqLen == 0 {
 			t.Skip("window drained at snapshot point; corruption test needs in-flight state")
 		}
 		return c
@@ -64,15 +64,14 @@ func TestCheckInvariantsCatchesCorruption(t *testing.T) {
 	}{
 		{"head-range", func(c *Core) { c.head = -1 }, "ROB head"},
 		{"occupancy", func(c *Core) { c.count = c.cfg.ROBSize + 1 }, "ROB occupancy"},
-		{"iq-capacity", func(c *Core) {
-			for len(c.iq) <= c.cfg.IQSize {
-				c.iq = append(c.iq, c.head)
-			}
-		}, "issue queue holds"},
+		{"iq-capacity", func(c *Core) { c.iqLen = c.cfg.IQSize + 1 }, "issue queue holds"},
 		{"lq-count", func(c *Core) { c.lqCount++ }, "load queue count"},
 		{"sq-count", func(c *Core) { c.sqCount-- }, "store queue count"},
 		{"seq-order", func(c *Core) { c.rob[c.slot(1)].seq = c.rob[c.head].seq }, "ROB order broken"},
-		{"dead-slot", func(c *Core) { c.iq = append(c.iq, c.slot(c.count)) }, "dead ROB slot"},
+		{"dead-slot", func(c *Core) {
+			c.iq = append(c.iq[:c.iqLen:c.iqLen], c.slot(c.count))
+			c.iqLen++
+		}, "dead ROB slot"},
 	}
 	for _, tc := range cases {
 		tc := tc

@@ -7,7 +7,10 @@
 // versus uniform degree distributions — is preserved by construction.
 package graph
 
-import "sort"
+import (
+	"slices"
+	"sort"
+)
 
 // CSR is a directed graph in compressed sparse row form.
 type CSR struct {
@@ -81,8 +84,9 @@ func fromEdges(n int, src, dst []uint64, weighted bool, rnd *rng) *CSR {
 		next[u]++
 	}
 	for u := 0; u < n; u++ {
-		s := col[deg[u]:deg[u+1]]
-		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+		// slices.Sort, not sort.Slice: the latter allocates a swapper and
+		// closure per call, and this loop runs once per vertex.
+		slices.Sort(col[deg[u]:deg[u+1]])
 	}
 	g := &CSR{RowPtr: deg, ColIdx: col}
 	if weighted {

@@ -405,7 +405,7 @@ func (in *instance) execute() (Result, error) {
 			return Result{}, fmt.Errorf("init: %w", err)
 		}
 		c.ResetStats()
-		hier.ResetStats()
+		hier.ResetStatsAt(c.Cycle())
 		if in.inv != nil {
 			// The reset zeroed Stats.Committed; re-baseline the
 			// monotonicity checks so the ROI boundary does not read as the

@@ -121,11 +121,20 @@ func TestSpeedupAndMeans(t *testing.T) {
 
 func TestROIRespectsSkip(t *testing.T) {
 	// A workload with SkipInstrs must report only post-skip instructions.
-	w, err := workloads.ByName("camel")
+	// ByName results are cached and shared process-wide, so build a private
+	// copy to override the skip instead of mutating the shared instance.
+	shared, err := workloads.ByName("camel")
 	if err != nil {
 		t.Fatal(err)
 	}
-	w.SkipInstrs = 30_000
+	w := &workloads.Workload{
+		Name:            shared.Name,
+		Prog:            shared.Prog,
+		Init:            shared.Init,
+		Validate:        shared.Validate,
+		SuggestedBudget: shared.SuggestedBudget,
+		SkipInstrs:      30_000,
+	}
 	rc := DefaultRunConfig(TechOoO)
 	rc.MaxBudget = 20_000
 	r, err := Run(w, rc)

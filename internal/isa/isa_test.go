@@ -370,3 +370,81 @@ func TestBuildRejectsRZeroWrites(t *testing.T) {
 		t.Fatalf("valid program rejected: %v", err)
 	}
 }
+
+// TestSourcesBoundedOverEveryOpcode pins the allocation-census
+// justification on (Instr).Sources: for every opcode it appends at most
+// 3 registers — exactly the opcode's true data sources — and never grows
+// past a caller-provided capacity of 3, so a caller reusing a
+// cap-3 scratch slice allocates nothing.
+func TestSourcesBoundedOverEveryOpcode(t *testing.T) {
+	// Expected source count per opcode class; every opcode must appear.
+	wantCount := map[Op]int{
+		Nop: 0, Li: 0, Jmp: 0, Halt: 0,
+		AddI: 1, AndI: 1, OrI: 1, XorI: 1, ShlI: 1, ShrI: 1, SltI: 1,
+		Mov: 1, ItoF: 1, FtoI: 1,
+		Add: 2, Sub: 2, And: 2, Or: 2, Xor: 2, Shl: 2, Shr: 2,
+		Slt: 2, Sltu: 2, Seq: 2, Min: 2, Max: 2,
+		Mul: 2, Div: 2, Rem: 2,
+		FAdd: 2, FSub: 2, FMul: 2, FDiv: 2, FSlt: 2,
+		Ld: 2, Beq: 2, Bne: 2, Blt: 2, Bge: 2, Bltu: 2, Bgeu: 2,
+		St: 3,
+	}
+	if len(wantCount) != int(numOps) {
+		t.Fatalf("expectation table covers %d opcodes, ISA has %d — update the test for new opcodes", len(wantCount), numOps)
+	}
+	for op := Op(0); op < numOps; op++ {
+		want, ok := wantCount[op]
+		if !ok {
+			t.Errorf("%v: no expected source count", op)
+			continue
+		}
+		in := Instr{Op: op, Dst: 13, Src1: 5, Src2: 9}
+		buf := make([]Reg, 0, 3)
+		out := in.Sources(buf)
+		if len(out) != want {
+			t.Errorf("%v: Sources appended %d regs (%v), want %d", op, len(out), out, want)
+		}
+		if len(out) > 3 {
+			t.Errorf("%v: Sources appended %d regs, above the documented bound of 3", op, len(out))
+		}
+		// No growth: append within cap keeps the caller's backing array.
+		if cap(out) != cap(buf) {
+			t.Errorf("%v: Sources grew the slice (cap %d -> %d); callers rely on zero-alloc reuse", op, cap(buf), cap(out))
+		}
+		if len(out) > 0 && &out[0] != &buf[:1][0] {
+			t.Errorf("%v: Sources reallocated the caller's backing array", op)
+		}
+		// The regs appended are drawn from the instruction's fields in
+		// src1, src2, store-value order.
+		wantRegs := []Reg{}
+		if in.hasSrc1() {
+			wantRegs = append(wantRegs, in.Src1)
+		}
+		if in.hasSrc2() {
+			wantRegs = append(wantRegs, in.Src2)
+		}
+		if in.IsStore() {
+			wantRegs = append(wantRegs, in.Dst)
+		}
+		for i, r := range out {
+			if r != wantRegs[i] {
+				t.Errorf("%v: Sources[%d] = r%d, want r%d", op, i, r, wantRegs[i])
+			}
+		}
+	}
+}
+
+// TestSourcesAllocFree measures the claim directly: with a cap-3 scratch,
+// Sources performs zero allocations for any opcode.
+func TestSourcesAllocFree(t *testing.T) {
+	buf := make([]Reg, 0, 3)
+	allocs := testing.AllocsPerRun(100, func() {
+		for op := Op(0); op < numOps; op++ {
+			in := Instr{Op: op, Dst: 13, Src1: 5, Src2: 9}
+			buf = in.Sources(buf[:0])
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Sources allocated %.1f times per sweep over all opcodes; want 0", allocs)
+	}
+}

@@ -19,40 +19,89 @@ const (
 	pageWords = 1 << (pageShift - 3)
 )
 
+// pageRef is one backing page plus its ownership: pages seeded from a
+// shared Image are read-only until first write, when Store copies them
+// (copy-on-write). Pages faulted in by Store are private from birth.
+type pageRef struct {
+	p    *[pageWords]uint64
+	priv bool
+}
+
 // Backing is a sparse, paged functional memory. The zero value is not
-// usable; create with NewBacking. It implements isa.Memory.
+// usable; create with NewBacking or NewBackingFrom. It implements
+// isa.Memory.
 //
 // Accesses are aligned to 64-bit words: the low three address bits are
 // ignored, matching the mini-ISA's word-granular loads and stores.
 type Backing struct {
-	pages map[uint64]*[pageWords]uint64
+	pages map[uint64]pageRef
 }
 
 // NewBacking returns an empty memory; all addresses read as zero.
 func NewBacking() *Backing {
-	return &Backing{pages: make(map[uint64]*[pageWords]uint64)}
+	return &Backing{pages: make(map[uint64]pageRef)}
+}
+
+// Image is an immutable memory snapshot. Many Backings can be seeded from
+// one Image concurrently (NewBackingFrom): they share its pages until
+// first write, so a sweep pays one image build plus only the pages each
+// cell actually dirties, instead of re-running the workload initializer —
+// and re-allocating its full footprint — per cell.
+type Image struct {
+	pages map[uint64]*[pageWords]uint64
+}
+
+// Snapshot freezes the backing's current contents into a shared Image.
+// The backing must not be written afterwards: the image aliases its
+// pages, and a later Store through this backing that lands on a
+// still-private page would mutate the image under every reader.
+func (b *Backing) Snapshot() *Image {
+	img := &Image{pages: make(map[uint64]*[pageWords]uint64, len(b.pages))}
+	//vrlint:allow simdet -- each iteration writes only its own key: the resulting map is identical under any iteration order
+	for k, e := range b.pages {
+		img.pages[k] = e.p
+	}
+	return img
+}
+
+// NewBackingFrom returns a backing initialized to the image's contents,
+// copy-on-write: reads are served from the shared pages, and the first
+// store to a page copies it privately. Safe to call (and use the results)
+// from concurrent goroutines as long as each Backing stays goroutine-local.
+func NewBackingFrom(img *Image) *Backing {
+	pages := make(map[uint64]pageRef, len(img.pages))
+	//vrlint:allow simdet -- each iteration writes only its own key: the resulting map is identical under any iteration order
+	for k, p := range img.pages {
+		pages[k] = pageRef{p: p}
+	}
+	return &Backing{pages: pages}
 }
 
 // Load returns the 64-bit word at addr (aligned down).
 func (b *Backing) Load(addr uint64) uint64 {
-	pg, ok := b.pages[addr>>pageShift]
+	e, ok := b.pages[addr>>pageShift]
 	if !ok {
 		return 0
 	}
-	return pg[(addr>>3)&(pageWords-1)]
+	return e.p[(addr>>3)&(pageWords-1)]
 }
 
 // Store writes the 64-bit word at addr (aligned down).
 //
-//vrlint:allow hotalloc -- sparse page fault-in: one allocation per touched page, amortized over the run
+//vrlint:allow hotalloc -- sparse page fault-in and copy-on-write: one allocation per touched page, amortized over the run
 func (b *Backing) Store(addr, val uint64) {
 	key := addr >> pageShift
-	pg, ok := b.pages[key]
+	e, ok := b.pages[key]
 	if !ok {
-		pg = new([pageWords]uint64)
-		b.pages[key] = pg
+		e = pageRef{p: new([pageWords]uint64), priv: true}
+		b.pages[key] = e
+	} else if !e.priv {
+		p := new([pageWords]uint64)
+		*p = *e.p
+		e = pageRef{p: p, priv: true}
+		b.pages[key] = e
 	}
-	pg[(addr>>3)&(pageWords-1)] = val
+	e.p[(addr>>3)&(pageWords-1)] = val
 }
 
 // StoreSlice writes vals as consecutive 64-bit words starting at addr.

@@ -379,12 +379,27 @@ func (h *Hierarchy) accessLine(cycle uint64, line uint64, isWrite bool, class Cl
 }
 
 // ResetStats zeroes every statistic while keeping cache contents, MSHR
-// entries and the DRAM schedule — the region-of-interest boundary.
+// entries and the DRAM schedule — the region-of-interest boundary. Prefer
+// ResetStatsAt with the core's current cycle: it clamps the MSHR occupancy
+// integral exactly at the window boundary.
 func (h *Hierarchy) ResetStats() {
 	h.L1D.ResetStats()
 	h.L2.ResetStats()
 	h.L3.ResetStats()
 	h.MSHR.ResetStats()
+	h.DRAM.ResetStats()
+	h.Stats = HierStats{}
+}
+
+// ResetStatsAt is ResetStats with an explicit region-of-interest boundary
+// cycle: misses still in flight at the reset contribute only their
+// remaining latency to the MSHR occupancy integral (see
+// MSHRFile.ResetStatsAt).
+func (h *Hierarchy) ResetStatsAt(cycle uint64) {
+	h.L1D.ResetStats()
+	h.L2.ResetStats()
+	h.L3.ResetStats()
+	h.MSHR.ResetStatsAt(cycle)
 	h.DRAM.ResetStats()
 	h.Stats = HierStats{}
 }

@@ -443,3 +443,45 @@ func TestHierarchyLatencyLowerBound(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestMSHROccupancyResetClamps is the regression test for the MLP
+// occupancy-integral drift across a region-of-interest rearm: a miss in
+// flight when statistics reset must contribute only its remaining
+// (done - resetCycle) interval to the post-reset window, and misses that
+// completed before the reset must contribute nothing. Before the fix the
+// pre-ROI portion leaked into AvgOccupancy, inflating the MLP figure for
+// every workload with a warmup skip.
+func TestMSHROccupancyResetClamps(t *testing.T) {
+	m := NewMSHRFile(4)
+
+	// Miss A: cycles 0..100, fully pre-ROI.
+	start := m.Acquire(0)
+	m.Complete(0x100, start, 100, SrcDemand)
+	// Miss B: cycles 50..900, straddles the reset at 600.
+	start = m.Acquire(50)
+	m.Complete(0x200, start, 900, SrcDemand)
+
+	m.ResetStatsAt(600)
+
+	// Post-reset window 600..1000: only B's remaining 300 cycles count.
+	got := m.AvgOccupancy(400)
+	want := 300.0 / 400.0
+	if got < want-1e-9 || got > want+1e-9 {
+		t.Errorf("AvgOccupancy after reset = %f, want %f (pre-ROI occupancy leaked in?)", got, want)
+	}
+
+	// A rearm with nothing in flight zeroes the integral entirely.
+	m.ResetStatsAt(900)
+	if got := m.AvgOccupancy(100); got != 0 {
+		t.Errorf("AvgOccupancy after drained reset = %f, want 0", got)
+	}
+
+	// New misses after the rearm accrue normally on top of the clamp.
+	start = m.Acquire(950)
+	m.Complete(0x300, start, 1000, SrcDemand)
+	got = m.AvgOccupancy(100)
+	want = 50.0 / 100.0
+	if got < want-1e-9 || got > want+1e-9 {
+		t.Errorf("AvgOccupancy post-rearm = %f, want %f", got, want)
+	}
+}

@@ -6,13 +6,18 @@ package mem
 // full of useful misses; the file therefore also integrates occupancy over
 // time so the harness can report average outstanding misses per cycle
 // (the MLP figure).
+//
+// Entries live in fixed arrays sized at construction: Acquire/TryAcquire
+// guarantee a free slot before Complete fills one, so the file never grows
+// and the steady state allocates nothing.
 type MSHRFile struct {
 	capacity int
-	// entries holds outstanding misses as (line, done, source) tuples;
-	// expired entries are compacted lazily as the clock advances.
+	// Outstanding misses as parallel (line, done, source) columns over
+	// [0:n]; expired entries are compacted lazily as the clock advances.
 	lines []uint64
 	done  []uint64
 	srcs  []PrefetchSource
+	n     int
 
 	// Stats
 	Allocations   uint64
@@ -24,7 +29,15 @@ type MSHRFile struct {
 
 // NewMSHRFile returns a file with the given number of entries.
 func NewMSHRFile(capacity int) *MSHRFile {
-	return &MSHRFile{capacity: capacity}
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &MSHRFile{
+		capacity: capacity,
+		lines:    make([]uint64, capacity),
+		done:     make([]uint64, capacity),
+		srcs:     make([]PrefetchSource, capacity),
+	}
 }
 
 // Capacity returns the number of MSHR entries.
@@ -36,7 +49,7 @@ func (m *MSHRFile) expire(cycle uint64) {
 		m.lastCycle = cycle
 	}
 	w := 0
-	for i := range m.lines {
+	for i := 0; i < m.n; i++ {
 		if m.done[i] > cycle {
 			m.lines[w] = m.lines[i]
 			m.done[w] = m.done[i]
@@ -44,9 +57,7 @@ func (m *MSHRFile) expire(cycle uint64) {
 			w++
 		}
 	}
-	m.lines = m.lines[:w]
-	m.done = m.done[:w]
-	m.srcs = m.srcs[:w]
+	m.n = w
 }
 
 // Outstanding returns the completion cycle and requesting source if the
@@ -56,7 +67,7 @@ func (m *MSHRFile) expire(cycle uint64) {
 //vrlint:allow inlinecost -- cost 108: expiry sweep plus merge scan over a config-bounded file; split in the overhaul if it shows up
 func (m *MSHRFile) Outstanding(line uint64, cycle uint64) (done uint64, src PrefetchSource, ok bool) {
 	m.expire(cycle)
-	for i := range m.lines {
+	for i := 0; i < m.n; i++ {
 		if m.lines[i] == line {
 			return m.done[i], m.srcs[i], true
 		}
@@ -67,7 +78,7 @@ func (m *MSHRFile) Outstanding(line uint64, cycle uint64) (done uint64, src Pref
 // InFlight returns the number of outstanding misses at the given cycle.
 func (m *MSHRFile) InFlight(cycle uint64) int {
 	m.expire(cycle)
-	return len(m.lines)
+	return m.n
 }
 
 // InFlightAt counts the outstanding misses at the given cycle without
@@ -77,7 +88,7 @@ func (m *MSHRFile) InFlight(cycle uint64) int {
 // contract forbids it from touching MSHR state.
 func (m *MSHRFile) InFlightAt(cycle uint64) int {
 	n := 0
-	for _, d := range m.done {
+	for _, d := range m.done[:m.n] {
 		if d > cycle {
 			n++
 		}
@@ -92,14 +103,14 @@ func (m *MSHRFile) InFlightAt(cycle uint64) int {
 func (m *MSHRFile) Acquire(cycle uint64) (start uint64) {
 	m.expire(cycle)
 	m.Allocations++
-	if len(m.lines) < m.capacity {
+	if m.n < m.capacity {
 		return cycle
 	}
 	m.StallEvents++
 	// Wait for the earliest outstanding miss to complete.
 	earliest := m.done[0]
 	ei := 0
-	for i := 1; i < len(m.done); i++ {
+	for i := 1; i < m.n; i++ {
 		if m.done[i] < earliest {
 			earliest = m.done[i]
 			ei = i
@@ -109,13 +120,11 @@ func (m *MSHRFile) Acquire(cycle uint64) (start uint64) {
 	if earliest > m.lastCycle {
 		m.lastCycle = earliest
 	}
-	last := len(m.lines) - 1
+	last := m.n - 1
 	m.lines[ei] = m.lines[last]
 	m.done[ei] = m.done[last]
 	m.srcs[ei] = m.srcs[last]
-	m.lines = m.lines[:last]
-	m.done = m.done[:last]
-	m.srcs = m.srcs[:last]
+	m.n = last
 	return earliest
 }
 
@@ -125,7 +134,7 @@ func (m *MSHRFile) Acquire(cycle uint64) (start uint64) {
 //vrlint:allow inlinecost -- cost 96: expiry sweep dominates; shared with Outstanding, owned by the overhaul
 func (m *MSHRFile) TryAcquire(cycle uint64) bool {
 	m.expire(cycle)
-	if len(m.lines) >= m.capacity {
+	if m.n >= m.capacity {
 		return false
 	}
 	m.Allocations++
@@ -134,13 +143,13 @@ func (m *MSHRFile) TryAcquire(cycle uint64) bool {
 
 // Complete records that the miss for line, started at start via
 // Acquire/TryAcquire, finishes at done. The (done - start) interval feeds
-// the occupancy integral behind AvgOccupancy.
-//
-//vrlint:allow hotalloc -- entry appends amortize to MSHR capacity; pooled by the PR-8 overhaul
+// the occupancy integral behind AvgOccupancy. Acquire/TryAcquire guarantee
+// a free slot, so the fixed arrays never grow.
 func (m *MSHRFile) Complete(line, start, done uint64, src PrefetchSource) {
-	m.lines = append(m.lines, line)
-	m.done = append(m.done, done)
-	m.srcs = append(m.srcs, src)
+	m.lines[m.n] = line
+	m.done[m.n] = done
+	m.srcs[m.n] = src
+	m.n++
 	if done > start {
 		m.occupancyArea += done - start
 	}
@@ -156,16 +165,30 @@ func (m *MSHRFile) AvgOccupancy(totalCycles uint64) float64 {
 	return float64(m.occupancyArea) / float64(totalCycles)
 }
 
-// ResetStats zeroes the counters, keeping outstanding entries.
+// ResetStats zeroes the counters, keeping outstanding entries, clamped at
+// the file's latest observation point; prefer ResetStatsAt with the
+// caller's current cycle, which is exact.
 func (m *MSHRFile) ResetStats() {
+	m.ResetStatsAt(m.lastCycle)
+}
+
+// ResetStatsAt zeroes the counters as of the given cycle, keeping
+// outstanding entries. The occupancy integral is clamped to the new stats
+// window: a miss still in flight at the reset contributes only its
+// remaining (done - cycle) interval, so AvgOccupancy over the
+// region-of-interest window never counts pre-ROI occupancy.
+func (m *MSHRFile) ResetStatsAt(cycle uint64) {
 	m.Allocations, m.Merges, m.StallEvents, m.occupancyArea = 0, 0, 0, 0
+	for _, d := range m.done[:m.n] {
+		if d > cycle {
+			m.occupancyArea += d - cycle
+		}
+	}
 }
 
 // Reset clears all entries and statistics.
 func (m *MSHRFile) Reset() {
-	m.lines = m.lines[:0]
-	m.done = m.done[:0]
-	m.srcs = m.srcs[:0]
+	m.n = 0
 	m.Allocations, m.Merges, m.StallEvents = 0, 0, 0
 	m.occupancyArea, m.lastCycle = 0, 0
 }

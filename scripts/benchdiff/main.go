@@ -8,11 +8,14 @@
 //	go test -bench=. -benchmem -run='^$' . | go run ./scripts/benchdiff -record BENCH_NOW.json
 //
 // Compare mode diffs two baselines and fails when any benchmark's
-// allocs/op regressed by more than -threshold percent (allocation count
-// is the stable metric on shared CI hardware; ns/op is reported but
-// never gates):
+// allocs/op regressed by more than -threshold percent, or its ns/op by
+// more than -nsthreshold percent. Allocation count is the stable metric
+// on shared CI hardware, so it gates tightly; wall-clock is noisy, so
+// the ns/op gate is deliberately loose (default 100%, i.e. only a 2×
+// slowdown of the recorded median fails) and exists to catch order-of-
+// magnitude pathologies, not jitter:
 //
-//	go run ./scripts/benchdiff -old BENCH_PR7.json -new BENCH_NOW.json -threshold 25
+//	go run ./scripts/benchdiff -old BENCH_PR9.json -new BENCH_NOW.json -threshold 25 -nsthreshold 100
 //
 // Only the standard library is used.
 package main
@@ -53,12 +56,13 @@ type Baseline struct {
 
 func main() {
 	var (
-		record    = flag.String("record", "", "parse `go test -bench` output on stdin and write a baseline JSON file")
-		oldFile   = flag.String("old", "", "baseline to compare against")
-		newFile   = flag.String("new", "", "candidate baseline")
-		threshold = flag.Float64("threshold", 25, "max tolerated allocs/op regression, percent")
-		pr        = flag.Int("pr", 0, "PR number stamped into a recorded baseline")
-		note      = flag.String("note", "", "note stamped into a recorded baseline")
+		record      = flag.String("record", "", "parse `go test -bench` output on stdin and write a baseline JSON file")
+		oldFile     = flag.String("old", "", "baseline to compare against")
+		newFile     = flag.String("new", "", "candidate baseline")
+		threshold   = flag.Float64("threshold", 25, "max tolerated allocs/op regression, percent")
+		nsThreshold = flag.Float64("nsthreshold", 100, "max tolerated ns/op regression, percent (100 = 2x)")
+		pr          = flag.Int("pr", 0, "PR number stamped into a recorded baseline")
+		note        = flag.String("note", "", "note stamped into a recorded baseline")
 	)
 	flag.Parse()
 
@@ -69,7 +73,7 @@ func main() {
 			os.Exit(1)
 		}
 	case *oldFile != "" && *newFile != "":
-		regressed, err := compare(*oldFile, *newFile, *threshold)
+		regressed, err := compare(*oldFile, *newFile, *threshold, *nsThreshold)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchdiff:", err)
 			os.Exit(1)
@@ -174,16 +178,30 @@ func parseBenchLine(line string) (Benchmark, bool) {
 	return b, true
 }
 
-// median reduces repeated runs of one benchmark (-count N) to the run
-// with the median allocs/op; ties and even counts take the lower middle.
+// median reduces repeated runs of one benchmark (-count N) to
+// component-wise medians: allocs/op and B/op from the run with median
+// allocs/op, ns/op as the median of the ns/op samples independently.
+// The split matters because the metrics are differently noisy — the
+// first run of a process pays one-time construction (caches, images)
+// that later runs amortize, and wall-clock jitters run-to-run, so a
+// single "median run" can pair a representative alloc count with an
+// outlier time. Ties and even counts take the lower middle.
 func median(runs []Benchmark) Benchmark {
 	sort.Slice(runs, func(i, j int) bool { return runs[i].AllocsPerOp < runs[j].AllocsPerOp })
-	return runs[(len(runs)-1)/2]
+	m := runs[(len(runs)-1)/2]
+	ns := make([]float64, len(runs))
+	for i, r := range runs {
+		ns[i] = r.NsPerOp
+	}
+	sort.Float64s(ns)
+	m.NsPerOp = ns[(len(ns)-1)/2]
+	return m
 }
 
 // compare diffs two baselines, printing a per-benchmark table, and
-// reports whether any allocation regression exceeds the threshold.
-func compare(oldFile, newFile string, threshold float64) (regressed bool, err error) {
+// reports whether any allocation or wall-clock regression exceeds its
+// threshold.
+func compare(oldFile, newFile string, threshold, nsThreshold float64) (regressed bool, err error) {
 	oldBase, err := readBaseline(oldFile)
 	if err != nil {
 		return false, err
@@ -197,22 +215,30 @@ func compare(oldFile, newFile string, threshold float64) (regressed bool, err er
 		oldBy[b.Name] = b
 	}
 	var added []string
-	fmt.Printf("%-40s %15s %15s %10s\n", "benchmark", "old allocs/op", "new allocs/op", "delta")
+	fmt.Printf("%-40s %15s %15s %10s %12s %12s %10s\n",
+		"benchmark", "old allocs/op", "new allocs/op", "delta", "old ms/op", "new ms/op", "delta")
 	for _, nb := range newBase.Benchmarks {
 		ob, ok := oldBy[nb.Name]
 		if !ok {
 			added = append(added, nb.Name)
-			fmt.Printf("%-40s %15s %15d %10s\n", nb.Name, "(new)", nb.AllocsPerOp, "-")
+			fmt.Printf("%-40s %15s %15d %10s %12s %12.1f %10s\n",
+				nb.Name, "(new)", nb.AllocsPerOp, "-", "(new)", nb.NsPerOp/1e6, "-")
 			continue
 		}
 		delete(oldBy, nb.Name)
 		delta := allocDelta(ob.AllocsPerOp, nb.AllocsPerOp)
+		nsDelta := pctDelta(ob.NsPerOp, nb.NsPerOp)
 		mark := ""
 		if delta > threshold {
-			mark = "  << REGRESSION"
+			mark = "  << ALLOC REGRESSION"
 			regressed = true
 		}
-		fmt.Printf("%-40s %15d %15d %+9.1f%%%s\n", nb.Name, ob.AllocsPerOp, nb.AllocsPerOp, delta, mark)
+		if nsDelta > nsThreshold {
+			mark += "  << TIME REGRESSION"
+			regressed = true
+		}
+		fmt.Printf("%-40s %15d %15d %+9.1f%% %12.1f %12.1f %+9.1f%%%s\n",
+			nb.Name, ob.AllocsPerOp, nb.AllocsPerOp, delta, ob.NsPerOp/1e6, nb.NsPerOp/1e6, nsDelta, mark)
 	}
 	var removed []string
 	for name := range oldBy {
@@ -234,11 +260,26 @@ func compare(oldFile, newFile string, threshold float64) (regressed bool, err er
 			len(removed), oldFile, strings.Join(removed, ", "))
 	}
 	if regressed {
-		fmt.Printf("\nbenchdiff: allocation regression above %.0f%% against %s\n", threshold, oldFile)
+		fmt.Printf("\nbenchdiff: regression against %s (allocs/op gate %.0f%%, ns/op gate %.0f%%)\n",
+			oldFile, threshold, nsThreshold)
 	} else {
-		fmt.Printf("\nbenchdiff: allocations within %.0f%% of %s\n", threshold, oldFile)
+		fmt.Printf("\nbenchdiff: allocations within %.0f%% and wall-clock within %.0f%% of %s\n",
+			threshold, nsThreshold, oldFile)
 	}
 	return regressed, nil
+}
+
+// pctDelta returns the percentage change from old to new; a zero old
+// value gates any nonzero new value hard (treated as +inf percent via a
+// large finite number so formatting stays sane).
+func pctDelta(oldV, newV float64) float64 {
+	if oldV == 0 {
+		if newV == 0 {
+			return 0
+		}
+		return 1e9
+	}
+	return (newV - oldV) / oldV * 100
 }
 
 // allocDelta returns the percentage change from old to new allocs/op.
