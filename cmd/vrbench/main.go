@@ -39,7 +39,16 @@
 // cells, flushes the journal, and renders the partial tables with a
 // CANCELLED summary; a second signal hard-cancels the in-flight cells
 // too. Exit codes: 0 success, 1 one or more cells or experiments failed,
-// 2 configuration error, 130 interrupted.
+// 2 configuration error, 3 worker protocol failure (internal -worker
+// mode only), 130 interrupted.
+//
+// -isolate=process executes every cell in a supervised child process
+// (the hidden -worker mode) instead of the supervisor's own: a cell that
+// OOMs, hits a runtime-fatal error, or wedges takes down one disposable
+// worker, which is killed (SIGTERM, then SIGKILL after a grace period),
+// classified, and replaced under a bounded restart budget while the cell
+// redispatches with identical inputs. Tables and JSON are byte-identical
+// to -isolate=off at every -parallel setting.
 //
 // Fault injection is scoped per cell by default: each cell derives its own
 // injector from (-faultseed, workload, technique, cell index), so the
@@ -74,6 +83,7 @@ const (
 	exitOK        = 0
 	exitRunErr    = 1   // one or more experiments or cells failed
 	exitConfig    = 2   // bad flags / spec / journal fingerprint
+	exitWorker    = 3   // -worker mode: stdin/stdout protocol failure
 	exitInterrupt = 130 // campaign cancelled by SIGINT/SIGTERM (128+SIGINT)
 )
 
@@ -108,8 +118,14 @@ func run() int {
 		check      = flag.Bool("check", false, "validate every run against the cosimulation oracle and runtime invariant checker; divergences fail their cell permanently")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file (pprof format)")
 		memProf    = flag.String("memprofile", "", "write a heap profile (after GC) at campaign end to this file (pprof format)")
+		isolate    = flag.String("isolate", "off", "cell execution isolation: off (in-process) or process (supervised child workers; identical output)")
+		workerMode = flag.Bool("worker", false, "run as an isolated cell worker over stdin/stdout (internal; spawned by -isolate=process)")
 	)
 	flag.Parse()
+
+	if *workerMode {
+		return runWorker()
+	}
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -155,6 +171,14 @@ func run() int {
 	if *parallelN < 0 {
 		return configErr("-parallel %d: want >= 0", *parallelN)
 	}
+	switch *isolate {
+	case "off", "process":
+	default:
+		return configErr("-isolate %q: want off or process", *isolate)
+	}
+	if *isolate == "process" && faultScope == harness.FaultScopeCampaign {
+		return configErr("-faultscope=campaign shares one live injector across cells, which cannot cross a process boundary; use -faultscope=cell with -isolate=process")
+	}
 	if *retries < 0 {
 		return configErr("-retries %d: want >= 0", *retries)
 	}
@@ -193,6 +217,29 @@ func run() int {
 			// campaign — not one per experiment sweep.
 			opt.FaultInjector = mem.NewFaultInjector(fc)
 		}
+	}
+
+	if *isolate == "process" {
+		exe, err := os.Executable()
+		if err != nil {
+			return configErr("-isolate=process: cannot locate own executable: %v", err)
+		}
+		workers := *parallelN
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		pool, err := harness.NewWorkerPool(harness.PoolConfig{
+			Command: []string{exe, "-worker"},
+			Workers: workers,
+			Log: func(msg string) {
+				fmt.Fprintf(os.Stderr, "vrbench: isolate: %s\n", msg)
+			},
+		})
+		if err != nil {
+			return configErr("-isolate=process: %v", err)
+		}
+		defer pool.Close()
+		opt.Pool = pool
 	}
 
 	ids := []string{*exp}
@@ -281,6 +328,33 @@ func run() int {
 		return exitInterrupt
 	case failed:
 		return exitRunErr
+	}
+	return exitOK
+}
+
+// runWorker is the hidden -worker mode: execute cell specs from stdin,
+// stream heartbeats and results to stdout, exit when the supervisor
+// closes the pipe. Signals invert their campaign meaning here: SIGINT is
+// ignored (the terminal delivers it to the whole foreground process
+// group, but draining is the supervisor's decision — workers just finish
+// their in-flight cell), and SIGTERM — the supervisor's cancellation
+// ladder — hard-cancels the in-flight cell so it reports a structured
+// cancellation before the SIGKILL backstop lands.
+func runWorker() int {
+	signal.Ignore(os.Interrupt)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	term := make(chan os.Signal, 1)
+	signal.Notify(term, syscall.SIGTERM)
+	defer signal.Stop(term)
+	go func() {
+		if _, ok := <-term; ok {
+			cancel()
+		}
+	}()
+	if err := harness.RunWorker(ctx, os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "vrbench worker: %v\n", err)
+		return exitWorker
 	}
 	return exitOK
 }

@@ -1,0 +1,71 @@
+// Declarative predictor selection. A Spec names a predictor and its
+// geometry as plain data, so a core configuration can be serialized —
+// the process-isolation wire format ships whole run configurations to
+// worker processes as JSON, and a func-valued constructor cannot cross
+// that boundary. Spec.New builds the same predictors the historical
+// constructor closures did, so a config expressed either way produces
+// byte-identical simulations.
+
+package branch
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBadSpec is wrapped by every predictor-spec validation failure.
+var ErrBadSpec = errors.New("branch: invalid predictor spec")
+
+// Predictor kinds a Spec can name.
+const (
+	KindBimodal = "bimodal"
+	KindGshare  = "gshare"
+	KindTAGE    = "tage"
+)
+
+// Spec selects a branch predictor declaratively: a kind plus the
+// geometry parameters its constructor takes. The zero value is invalid;
+// DefaultSpec returns the Table 1 baseline.
+type Spec struct {
+	// Kind is one of KindBimodal, KindGshare, KindTAGE.
+	Kind string
+	// LogSize is the table-size exponent handed to the constructor
+	// (clamped to [0,24] there, like every externally supplied exponent).
+	LogSize int
+	// HistoryBits is the gshare history length; ignored by other kinds.
+	HistoryBits uint `json:",omitempty"`
+}
+
+// DefaultSpec is the paper's Table 1 predictor: the TAGE-class model.
+func DefaultSpec() Spec { return Spec{Kind: KindTAGE, LogSize: 10} }
+
+// Validate checks that the spec names a buildable predictor, wrapping
+// ErrBadSpec.
+func (s Spec) Validate() error {
+	switch s.Kind {
+	case KindBimodal, KindGshare, KindTAGE:
+		return nil
+	case "":
+		return fmt.Errorf("%w: empty Kind (want %s, %s or %s)", ErrBadSpec, KindBimodal, KindGshare, KindTAGE)
+	default:
+		return fmt.Errorf("%w: unknown Kind %q", ErrBadSpec, s.Kind)
+	}
+}
+
+// New constructs the predictor the spec describes. It panics on a spec
+// that fails Validate — call Validate first for a recoverable error (the
+// core configuration's Validate does).
+//
+//vrlint:allow panicfree -- documented constructor contract: Validate() is the typed-error path, matching NewFaultInjector
+func (s Spec) New() Predictor {
+	switch s.Kind {
+	case KindBimodal:
+		return NewBimodal(s.LogSize)
+	case KindGshare:
+		return NewGshare(s.LogSize, s.HistoryBits)
+	case KindTAGE:
+		return NewTAGE(s.LogSize)
+	default:
+		panic(fmt.Sprintf("branch: Spec.New on invalid spec %+v (Validate first)", s))
+	}
+}

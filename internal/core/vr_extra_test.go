@@ -87,7 +87,7 @@ func cpuPredictor(t *testing.T) interface {
 	Name() string
 } {
 	t.Helper()
-	return cpu.DefaultConfig().NewPredictor()
+	return cpu.DefaultConfig().Predictor.New()
 }
 
 func TestNoVectorizationWithoutStrides(t *testing.T) {

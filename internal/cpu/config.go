@@ -44,8 +44,16 @@ type Config struct {
 	// address-generation cost.
 	FULatency [isa.NumFUClasses]uint64
 
-	// NewPredictor constructs the branch predictor for a core instance.
-	NewPredictor func() branch.Predictor
+	// Predictor selects the branch predictor declaratively (kind plus
+	// geometry). Declarative selection keeps the whole configuration
+	// serializable, which the process-isolated sweep mode depends on: a
+	// worker process receives its run configuration as JSON.
+	Predictor branch.Spec
+	// NewPredictor, when non-nil, overrides Predictor with an arbitrary
+	// constructor — a test seam for custom predictors. It cannot cross a
+	// process boundary: configurations carrying it are rejected by the
+	// process-isolated execution mode.
+	NewPredictor func() branch.Predictor `json:"-"`
 
 	// MaxCycles aborts a run that exceeds this many cycles (0 = no limit);
 	// a guard against deadlocked configurations.
@@ -106,7 +114,7 @@ func DefaultConfig() Config {
 	cfg.FULatency[isa.FUMem] = 1
 	cfg.FULatency[isa.FUBranch] = 1
 
-	cfg.NewPredictor = func() branch.Predictor { return branch.NewTAGE(10) }
+	cfg.Predictor = branch.DefaultSpec()
 	cfg.MaxCycles = 2_000_000_000
 	cfg.WatchdogCycles = 1_000_000
 	cfg.CheckInterval = DefaultCheckInterval
@@ -172,7 +180,9 @@ func (c Config) Validate() error {
 		}
 	}
 	if c.NewPredictor == nil {
-		return fmt.Errorf("%w: NewPredictor is nil", ErrBadConfig)
+		if err := c.Predictor.Validate(); err != nil {
+			return fmt.Errorf("%w: %v", ErrBadConfig, err)
+		}
 	}
 	// A zero interval would silently disable every periodic check —
 	// deadlines, cancellation, the invariant checker — so reject it.
@@ -181,6 +191,15 @@ func (c Config) Validate() error {
 			ErrBadConfig, c.CheckInterval, 1, maxCheckInterval)
 	}
 	return nil
+}
+
+// predictor constructs the configured branch predictor: the NewPredictor
+// test seam when set, the declarative Spec otherwise.
+func (c Config) predictor() branch.Predictor {
+	if c.NewPredictor != nil {
+		return c.NewPredictor()
+	}
+	return c.Predictor.New()
 }
 
 // WithROB returns a copy of the config with the ROB (and, in proportion,

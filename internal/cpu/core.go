@@ -305,7 +305,7 @@ func New(cfg Config, prog *isa.Program, data *mem.Backing, hier *mem.Hierarchy) 
 		prog:     prog,
 		data:     data,
 		hier:     hier,
-		pred:     cfg.NewPredictor(),
+		pred:     cfg.predictor(),
 		rob:      make([]robEntry, cfg.ROBSize),
 		frontQ:   make([]fetchSlot, nextPow2(cfg.FetchBufSize)),
 		iq:       make([]int, cfg.IQSize),

@@ -132,11 +132,11 @@ func ExpA3Predictors(opt Options) (*Table, error) {
 	}
 	preds := []struct {
 		name string
-		mk   func() branch.Predictor
+		spec branch.Spec
 	}{
-		{"bimodal", func() branch.Predictor { return branch.NewBimodal(12) }},
-		{"gshare", func() branch.Predictor { return branch.NewGshare(12, 12) }},
-		{"tage", func() branch.Predictor { return branch.NewTAGE(10) }},
+		{"bimodal", branch.Spec{Kind: branch.KindBimodal, LogSize: 12}},
+		{"gshare", branch.Spec{Kind: branch.KindGshare, LogSize: 12, HistoryBits: 12}},
+		{"tage", branch.Spec{Kind: branch.KindTAGE, LogSize: 10}},
 	}
 	t := &Table{ID: "A3", Title: "Ablation: branch predictor (h-mean over sweep set)",
 		Header: []string{"predictor", "ooo IPC", "vr gain", "mispredict rate"}}
@@ -146,10 +146,10 @@ func ExpA3Predictors(opt Options) (*Table, error) {
 		plan[pi] = make([]pairCell, len(ws))
 		for i, w := range ws {
 			rcO := DefaultRunConfig(TechOoO)
-			rcO.CPU.NewPredictor = p.mk
+			rcO.CPU.Predictor = p.spec
 			co := sw.cell(w, rcO)
 			rcV := DefaultRunConfig(TechVR)
-			rcV.CPU.NewPredictor = p.mk
+			rcV.CPU.Predictor = p.spec
 			plan[pi][i] = pairCell{o: co, v: sw.cell(w, rcV, co)}
 		}
 	}

@@ -70,6 +70,15 @@ type Options struct {
 	// attempt (deterministic, no jitter; capped at base<<6). 0 retries
 	// immediately.
 	RetryBackoff time.Duration
+	// Pool, when non-nil, executes every cell in an isolated worker
+	// process (vrbench -isolate=process): the sweep's run function
+	// becomes Pool.Run, which dispatches the cell — with its fault seed
+	// already derived for the attempt — to a supervised child process
+	// and survives that process's death by redispatching. Results are
+	// byte-identical to in-process execution. Ignored under
+	// campaign-scoped faults, whose shared live injector cannot cross a
+	// process boundary.
+	Pool *WorkerPool
 	// Journal, when non-nil, records every completed cell for
 	// checkpoint/resume: cells present in the journal replay their stored
 	// outcome instead of re-simulating. Incompatible with campaign-scoped

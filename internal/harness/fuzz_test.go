@@ -1,8 +1,10 @@
 package harness
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
+	"io"
 	"math/rand"
 	"testing"
 
@@ -230,4 +232,83 @@ func TestFuzzEnginesMatchInterpreter(t *testing.T) {
 			vr.Bind(c)
 		})
 	}
+}
+
+// FuzzWorkerProtocol drives arbitrary byte streams through the
+// process-isolation frame decoder exactly the way a worker's supervisor
+// consumes them: frame after frame, decode, validate against the cell id
+// in flight. The property: no input may panic or over-allocate, and
+// every rejection — truncated frames, oversized or zero lengths, garbage
+// JSON, duplicate or out-of-order cell ids, results carrying both or
+// neither outcome — must classify under the ErrWorkerProtocol sentinel
+// the crash taxonomy keys on, never as a bare error.
+func FuzzWorkerProtocol(f *testing.F) {
+	frame := func(v any) []byte {
+		var buf bytes.Buffer
+		if err := writeFrame(&buf, v); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	hb := frame(wireMsg{Type: msgHeartbeat, ID: 1, HeapAlloc: 123})
+	res := frame(wireMsg{Type: msgResult, ID: 1,
+		Result: &Result{Workload: "camel", Tech: TechOoO, Cycles: 10, Instrs: 5}})
+	failRes := frame(wireMsg{Type: msgResult, ID: 1,
+		Err: &wireError{Workload: "camel", Tech: TechVR, Phase: "run", Msg: "boom", Timeout: true}})
+	f.Add(append(append([]byte{}, hb...), res...), 1) // healthy beat-then-result stream
+	f.Add(failRes, 1)
+	f.Add(res, 7)                                        // result for a cell not in flight
+	f.Add(append(append([]byte{}, res...), res...), 1)   // duplicate result
+	f.Add(hb[:3], 1)                                     // truncated length prefix
+	f.Add(res[:len(res)-2], 1)                           // torn payload
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 'x'}, 1)        // oversized length
+	f.Add([]byte{0, 0, 0, 0}, 1)                         // zero length
+	f.Add([]byte{0, 0, 0, 2, '{', ']'}, 1)               // garbage JSON
+	f.Add([]byte{}, 0)
+	f.Fuzz(func(t *testing.T, data []byte, wantID int) {
+		r := bytes.NewReader(data)
+		sawResult := false
+		for {
+			payload, err := readFrame(r)
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				if !errors.Is(err, ErrWorkerProtocol) {
+					t.Fatalf("frame rejection lost the protocol sentinel: %v", err)
+				}
+				return
+			}
+			if len(payload) > maxFrameLen {
+				t.Fatalf("decoder returned a %d-byte payload past the %d bound", len(payload), maxFrameLen)
+			}
+			m, err := decodeMsg(payload)
+			if err != nil {
+				if !errors.Is(err, ErrWorkerProtocol) {
+					t.Fatalf("decode rejection lost the protocol sentinel: %v", err)
+				}
+				return
+			}
+			if sawResult {
+				// Anything after the in-flight cell's result belongs to
+				// no dispatch; the supervisor must classify it.
+				if err := validateMsg(m, wantID+1); err == nil && m.ID == wantID {
+					t.Fatalf("duplicate frame for cell %d validated against the next dispatch", wantID)
+				}
+				return
+			}
+			if err := validateMsg(m, wantID); err != nil {
+				if !errors.Is(err, ErrWorkerProtocol) {
+					t.Fatalf("validation rejection lost the protocol sentinel: %v", err)
+				}
+				return
+			}
+			if m.Type == msgResult {
+				if (m.Result != nil) == (m.Err != nil) {
+					t.Fatalf("validated result carries result=%v err=%v", m.Result != nil, m.Err != nil)
+				}
+				sawResult = true
+			}
+		}
+	})
 }

@@ -69,8 +69,11 @@ type RunConfig struct {
 	Faults mem.FaultConfig
 	// FaultInjector, when non-nil, is used instead of building a fresh
 	// injector from Faults. Sharing one injector across a campaign's runs
-	// lets its Nth-access faults land in whichever cell reaches them.
-	FaultInjector *mem.FaultInjector
+	// lets its Nth-access faults land in whichever cell reaches them. It
+	// is live state, not configuration, so it never crosses the
+	// process-isolation wire format (which excludes campaign-shared
+	// injectors by construction).
+	FaultInjector *mem.FaultInjector `json:"-"`
 	// Check enables the cosimulation oracle and the runtime invariant
 	// checker: every architectural commit is validated against an in-order
 	// reference model over a shadow memory, and microarchitectural

@@ -155,6 +155,15 @@ type sweep struct {
 // built for this sweep, scoping counts to the single experiment.
 func (o *Options) newSweep(t *Table) *sweep {
 	s := &sweep{opt: o, t: t, runFn: RunSupervisedContext}
+	if o.Pool != nil && !o.campaign() {
+		// Process isolation swaps the run function and nothing else: the
+		// cell specs the scheduler derives (budget, watchdog, per-attempt
+		// fault seeds) are exactly what crosses the wire, so both modes
+		// produce identical bytes. Campaign-scoped faults keep the
+		// in-process path — their shared injector is live state no wire
+		// format can carry.
+		s.runFn = o.Pool.Run
+	}
 	if o.campaign() {
 		switch {
 		case o.FaultInjector != nil:

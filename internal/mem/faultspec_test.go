@@ -1,6 +1,7 @@
 package mem
 
 import (
+	"encoding/json"
 	"math"
 	"strings"
 	"testing"
@@ -114,6 +115,51 @@ func TestForCellAttemptSeeds(t *testing.T) {
 		if d1 != cfg {
 			t.Errorf("%s: derivation changed non-seed fields: %+v", tc.name, d1)
 		}
+	}
+}
+
+// TestFaultConfigWireRoundTrip: process-isolated workers receive their
+// FaultConfig as JSON inside the cell spec. The config must survive the
+// wire bit-exactly — same struct back, and the per-attempt seed
+// derivation computed remotely must match the supervisor's — or the two
+// isolation modes could not produce byte-identical campaigns.
+func TestFaultConfigWireRoundTrip(t *testing.T) {
+	fc, err := ParseFaultSpec("spike=0.05,spikecycles=300,drop=0.1,starve=0.01,starvecycles=40,panic=30000,hang=2", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back FaultConfig
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != fc {
+		t.Fatalf("round-trip changed the config: %+v != %+v", back, fc)
+	}
+	for attempt := 0; attempt < 3; attempt++ {
+		local := fc.ForCellAttempt("camel", "vr", 5, attempt)
+		remote := back.ForCellAttempt("camel", "vr", 5, attempt)
+		if local != remote {
+			t.Errorf("attempt %d: remote derivation diverged: %+v != %+v", attempt, remote, local)
+		}
+	}
+
+	// The derived per-cell config is itself what crosses the wire; it
+	// must round-trip too (a crashed worker's redispatch re-sends it).
+	derived := fc.ForCellAttempt("hj2", "ooo", 2, 1)
+	data, err = json.Marshal(derived)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dback FaultConfig
+	if err := json.Unmarshal(data, &dback); err != nil {
+		t.Fatal(err)
+	}
+	if dback != derived {
+		t.Fatalf("derived config round-trip changed: %+v != %+v", dback, derived)
 	}
 }
 

@@ -5,6 +5,12 @@
 # to an uninterrupted run's. Also spot-checks the documented exit codes
 # (0/1 run outcome, 2 configuration error, 130 interrupted).
 #
+# The process-isolation sections then repeat the abuse one level down:
+# SIGKILL a worker process mid-campaign (the supervisor must restart it
+# and redispatch the lost cell with an unchanged attempt seed), and
+# SIGKILL the supervisor itself mid-journal (the resumed campaign must
+# replay to the same bytes, and no orphaned workers may survive).
+#
 # Run from the repository root: ./scripts/chaos_smoke.sh (or make chaos).
 set -euo pipefail
 
@@ -81,6 +87,76 @@ diff -u "$dir/golden.txt" "$dir/resumed.txt" >&2 ||
 [ "$resume_status" -eq "$golden_status" ] ||
 	fail "resumed run exited $resume_status, golden exited $golden_status"
 
+echo "chaos: process-isolated run, worker SIGKILL mid-campaign"
+# Workers are children running "$dir/vrbench -worker"; the supervisor
+# must classify the kill, start a replacement, and redispatch the lost
+# cell with the same attempt seed — so the output stays byte-identical
+# to the golden in-process run and the exit code matches.
+set +e
+"$dir/vrbench" "${flags[@]}" -isolate=process \
+	>"$dir/isolated.txt" 2>"$dir/isolated.err" &
+pid=$!
+killed_worker=0
+for _ in $(seq 1 1200); do
+	kill -0 "$pid" 2>/dev/null || break
+	wpid="$(pgrep -f "$dir/vrbench -worker" | head -n1)"
+	if [ -n "$wpid" ] && kill -KILL "$wpid" 2>/dev/null; then
+		killed_worker=1
+		break
+	fi
+	sleep 0.05
+done
+wait "$pid"
+iso_status=$?
+set -e
+[ "$killed_worker" -eq 1 ] ||
+	echo "chaos: note: campaign finished before a worker could be killed"
+[ "$iso_status" -eq "$golden_status" ] ||
+	fail "isolated run exited $iso_status, golden exited $golden_status (stderr: $(cat "$dir/isolated.err"))"
+diff -u "$dir/golden.txt" "$dir/isolated.txt" >&2 ||
+	fail "worker SIGKILL changed the campaign output"
+
+echo "chaos: process-isolated run, supervisor SIGKILL mid-journal, resume"
+journal2="$dir/isolated.journal"
+set +e
+"$dir/vrbench" "${flags[@]}" -isolate=process -checkpoint "$journal2" \
+	>"$dir/survivor.txt" 2>"$dir/survivor.err" &
+pid=$!
+for _ in $(seq 1 1200); do
+	kill -0 "$pid" 2>/dev/null || break
+	if [ -f "$journal2" ] && [ "$(wc -l <"$journal2")" -ge 4 ]; then
+		kill -KILL "$pid"
+		break
+	fi
+	sleep 0.05
+done
+wait "$pid"
+kill_status=$?
+set -e
+if [ "$kill_status" -ne 137 ] && [ "$kill_status" -ne "$golden_status" ]; then
+	fail "supervisor-killed run exited $kill_status (want 137, or $golden_status if it finished first)"
+fi
+# Crash containment: the dead supervisor's workers see EOF on stdin (or
+# EPIPE on their next result) and must exit on their own — no orphans.
+orphans=""
+for _ in $(seq 1 600); do
+	orphans="$(pgrep -f "$dir/vrbench -worker" || true)"
+	[ -z "$orphans" ] && break
+	sleep 0.05
+done
+[ -z "$orphans" ] || fail "workers survived their supervisor: pids $orphans"
+set +e
+"$dir/vrbench" "${flags[@]}" -isolate=process -checkpoint "$journal2" -resume \
+	>"$dir/survivor2.txt" 2>"$dir/survivor2.err"
+survivor_status=$?
+set -e
+grep -q "resuming:" "$dir/survivor2.err" ||
+	fail "post-SIGKILL resume did not replay from the journal (stderr: $(cat "$dir/survivor2.err"))"
+diff -u "$dir/golden.txt" "$dir/survivor2.txt" >&2 ||
+	fail "supervisor SIGKILL + resume changed the campaign output"
+[ "$survivor_status" -eq "$golden_status" ] ||
+	fail "post-SIGKILL resume exited $survivor_status, golden exited $golden_status"
+
 echo "chaos: exit-code spot checks"
 set +e
 "$dir/vrbench" -exp bogus >/dev/null 2>&1
@@ -91,4 +167,4 @@ set +e
 [ $? -eq 2 ] || fail "fingerprint mismatch on resume should exit 2"
 set -e
 
-echo "chaos: OK (golden/resumed byte-identical, exit $golden_status)"
+echo "chaos: OK (golden/resumed/isolated byte-identical, exit $golden_status)"
